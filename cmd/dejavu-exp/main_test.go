@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "5", experiments.Options{Seed: 1, Days: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") {
+		t.Errorf("output missing figure header:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 6") {
+		t.Error("single-figure run should not include other figures")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "42", experiments.Options{Seed: 1, Days: 2}); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1", experiments.Options{Seed: 1, Days: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("output missing table header")
+	}
+}

@@ -1,0 +1,78 @@
+// Command dejavu-proxy runs the stand-alone duplicating proxy: it
+// forwards client connections to the production address and mirrors a
+// sampled subset of sessions to a profiling clone, whose replies are
+// dropped (paper §3.2.1).
+//
+// Usage:
+//
+//	dejavu-proxy -listen :8080 -production host:port [-clone host:port] [-sample N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/proxy"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "address to accept client sessions on")
+	production := flag.String("production", "", "production service address (required)")
+	clone := flag.String("clone", "", "profiling clone address (empty disables duplication)")
+	sample := flag.Int("sample", 1, "duplicate one in every N client sessions")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval")
+	flag.Parse()
+
+	if *production == "" {
+		fmt.Fprintln(os.Stderr, "dejavu-proxy: -production is required")
+		os.Exit(2)
+	}
+	p, err := proxy.New(proxy.Config{
+		ListenAddr:     *listen,
+		ProductionAddr: *production,
+		CloneAddr:      *clone,
+		SampleEvery:    *sample,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu-proxy:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dejavu-proxy: listening on %s -> production %s", p.Addr(), *production)
+	if *clone != "" {
+		fmt.Printf(", duplicating 1/%d sessions to %s", *sample, *clone)
+	}
+	fmt.Println()
+
+	done := make(chan error, 1)
+	go func() { done <- p.Serve() }()
+
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-ticker.C:
+			st := p.Stats()
+			fmt.Printf("sessions %d, duplicated %d, in %dB, out %dB, mirrored %dB, clone errors %d\n",
+				st.Sessions, st.Duplicated, st.BytesIn, st.BytesOut, st.BytesDuplicated, st.CloneErrors)
+		case <-sigs:
+			fmt.Println("dejavu-proxy: shutting down")
+			if err := p.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dejavu-proxy: close:", err)
+			}
+			return
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dejavu-proxy:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Command dejavu-sim runs a single trace-driven simulation with a
+// chosen resource-management controller and prints per-hour state and
+// summary statistics.
+//
+// Usage:
+//
+//	dejavu-sim [-trace hotmail|messenger] [-controller dejavu|autopilot|rightscale|fixedmax]
+//	           [-days D] [-seed N] [-calm MINUTES] [-interference]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	traceName := flag.String("trace", "messenger", "load trace: hotmail or messenger")
+	controller := flag.String("controller", "dejavu", "controller: dejavu, autopilot, rightscale, fixedmax")
+	days := flag.Int("days", 7, "trace days (learning day included)")
+	seed := flag.Int64("seed", 42, "random seed")
+	calm := flag.Int("calm", 15, "rightscale resize calm time (minutes)")
+	interference := flag.Bool("interference", false, "inject alternating 10%/20% co-located interference")
+	flag.Parse()
+
+	if err := run(os.Stdout, *traceName, *controller, *days, *seed, *calm, *interference); err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, traceName, controller string, days int, seed int64, calmMin int, interference bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	svc := services.NewCassandra()
+
+	var tr *trace.Trace
+	switch traceName {
+	case "hotmail":
+		tr = trace.HotMail(trace.SynthConfig{Rng: rng, DailyPhaseShift: true})
+	case "messenger":
+		tr = trace.Messenger(trace.SynthConfig{Rng: rng, DailyPhaseShift: true})
+	default:
+		return fmt.Errorf("unknown trace %q", traceName)
+	}
+	tr = tr.ScaleTo(480)
+	if days < 2 || days > 7 {
+		days = 7
+	}
+
+	day0, err := tr.Day(0)
+	if err != nil {
+		return err
+	}
+	tuner, err := core.NewScaleOutTuner(svc, cloud.Large, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		return err
+	}
+
+	var ctl sim.Controller
+	switch controller {
+	case "dejavu":
+		prof, err := core.NewProfiler(svc, rng)
+		if err != nil {
+			return err
+		}
+		repo, report, err := core.Learn(core.LearnConfig{
+			Profiler:  prof,
+			Tuner:     tuner,
+			Workloads: core.WorkloadsFromTrace(day0, svc.DefaultMix()),
+			Rng:       rng,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "learning: %d workload classes, signature %v, classifier accuracy %.2f\n",
+			report.Classes, report.SignatureEvents, report.ClassifierAccuracy)
+		dv, err := core.NewController(core.ControllerConfig{
+			Repository:            repo,
+			Profiler:              prof,
+			Tuner:                 tuner,
+			Service:               svc,
+			InterferenceDetection: interference,
+		})
+		if err != nil {
+			return err
+		}
+		ctl = dv
+	case "autopilot":
+		ap, err := baseline.LearnAutopilotSchedule(tuner, core.WorkloadsFromTrace(day0, svc.DefaultMix()))
+		if err != nil {
+			return err
+		}
+		ctl = ap
+	case "rightscale":
+		rs, err := baseline.NewRightScale(cloud.Large, svc.MinInstances, svc.MaxInstances,
+			time.Duration(calmMin)*time.Minute)
+		if err != nil {
+			return err
+		}
+		ctl = rs
+	case "fixedmax":
+		ctl = baseline.NewFixedMax(svc)
+	default:
+		return fmt.Errorf("unknown controller %q", controller)
+	}
+
+	window, err := tr.Slice(24, days*24)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Service:    svc,
+		Trace:      window,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	}
+	if interference {
+		cfg.Interference = func(now time.Duration) float64 {
+			if int(now/(8*time.Hour))%2 == 0 {
+				return 0.10
+			}
+			return 0.20
+		}
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%-6s %-10s %-6s %-10s %-8s\n", "hour", "clients", "inst", "latency", "violated")
+	for i := 0; i+60 <= len(res.Records); i += 60 {
+		bad := 0
+		lat, clients := 0.0, 0.0
+		for j := i; j < i+60; j++ {
+			if res.Records[j].SLOViolated {
+				bad++
+			}
+			lat += res.Records[j].LatencyMs
+			clients += res.Records[j].Clients
+		}
+		r := res.Records[i+59]
+		fmt.Fprintf(w, "%-6d %-10.0f %-6d %-10.1f %d/60\n",
+			i/60, clients/60, r.Allocation.Count, lat/60, bad)
+	}
+	fixed := sim.FixedMaxCost(svc, window)
+	fmt.Fprintf(w, "\ncontroller: %s over %d days (after 1 learning day)\n", res.Controller, days-1)
+	fmt.Fprintf(w, "cost $%.2f (fixed max $%.2f) -> savings %.0f%%\n",
+		res.TotalCost, fixed, 100*res.CostSavingsVs(fixed))
+	fmt.Fprintf(w, "SLO violations %.1f%% of time; %d allocation changes; mean adaptation episode %v\n",
+		100*res.SLOViolationFraction, res.Decisions, res.MeanAdaptation())
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunControllers(t *testing.T) {
+	for _, ctl := range []string{"dejavu", "autopilot", "rightscale", "fixedmax"} {
+		ctl := ctl
+		t.Run(ctl, func(t *testing.T) {
+			if err := run(io.Discard, "messenger", ctl, 2, 1, 3, false); err != nil {
+				t.Fatalf("%s: %v", ctl, err)
+			}
+		})
+	}
+}
+
+func TestRunWithInterference(t *testing.T) {
+	if err := run(io.Discard, "hotmail", "dejavu", 2, 1, 15, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(io.Discard, "nope", "dejavu", 2, 1, 3, false); err == nil {
+		t.Error("unknown trace should error")
+	}
+	if err := run(io.Discard, "messenger", "nope", 2, 1, 3, false); err == nil {
+		t.Error("unknown controller should error")
+	}
+}

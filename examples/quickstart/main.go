@@ -1,0 +1,96 @@
+// Quickstart: the DejaVu loop in miniature.
+//
+// It learns workload classes from one synthetic day of Cassandra
+// traffic, tunes one allocation per class, and then — like the runtime
+// controller — classifies fresh workloads and instantly reuses the
+// cached allocations, falling back to full capacity for a workload it
+// has never seen.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/trace"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// The service under management: a simulated Cassandra cluster
+	// with a 60 ms latency SLO, scaled out between 2 and 10 large
+	// instances.
+	svc := services.NewCassandra()
+
+	// One day of diurnal load, scaled so the daily peak needs full
+	// capacity.
+	day := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(480)
+	learningDay, err := day.Day(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The profiler plays the role of the cloned VM in the profiling
+	// environment; the tuner is the paper's linear search over
+	// allocations.
+	profiler, err := core.NewProfiler(svc, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := core.NewScaleOutTuner(svc, cloud.Large, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Learning phase: profile 24 hourly workloads, select signature
+	// metrics, cluster into classes, tune once per class.
+	repo, report, err := core.Learn(core.LearnConfig{
+		Profiler:  profiler,
+		Tuner:     tuner,
+		Workloads: core.WorkloadsFromTrace(learningDay, svc.DefaultMix()),
+		Rng:       rng,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d workload classes from %d workloads\n", report.Classes, report.NumWorkloads)
+	fmt.Printf("signature metrics: %v\n", report.SignatureEvents)
+	for class, alloc := range report.Allocations {
+		fmt.Printf("  class %d -> %s\n", class, alloc)
+	}
+	fmt.Printf("tuning ran %d times instead of %d (%.0fx less tuning)\n\n",
+		report.Classes, report.NumWorkloads,
+		float64(report.NumWorkloads)/float64(report.Classes))
+
+	// Runtime: a "new" workload arrives. Collect its ~10 s
+	// signature, look up the cache, and reuse the allocation.
+	for _, clients := range []float64{60, 170, 320, 470, 2500} {
+		w := services.Workload{Clients: clients, Mix: svc.DefaultMix()}
+		sig, err := profiler.Profile(w, repo.Events())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repo.Lookup(sig, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Hit:
+			fmt.Printf("%4.0f clients -> class %d (certainty %.2f) -> reuse %s\n",
+				clients, res.Class, res.Certainty, res.Allocation)
+		case res.Unforeseen:
+			fmt.Printf("%4.0f clients -> unforeseen workload -> full capacity %s\n",
+				clients, svc.MaxAllocation())
+		default:
+			fmt.Printf("%4.0f clients -> class %d but no cached allocation -> tune\n",
+				clients, res.Class)
+		}
+	}
+	fmt.Printf("\ncache hit rate: %.0f%%\n", 100*repo.HitRate())
+}

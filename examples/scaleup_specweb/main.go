@@ -1,0 +1,101 @@
+// Scale-up example: the paper's Figure 9/10 case study.
+//
+// SPECweb2009's support workload runs on five virtual instances whose
+// type DejaVu switches between EC2 large and extra-large as the
+// HotMail-style load varies, keeping the QoS (>= 95% of downloads at
+// 0.99 Mbps) while paying for the big type only around daily peaks.
+//
+// Run with: go run ./examples/scaleup_specweb
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	svc := services.NewSPECWeb()
+	week := trace.HotMail(trace.SynthConfig{Rng: rng, DailyPhaseShift: true}).ScaleTo(350)
+
+	day0, err := week.Day(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiler, err := core.NewProfiler(svc, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := core.NewScaleUpTuner(svc, svc.Instances,
+		[]cloud.InstanceType{cloud.Large, cloud.XLarge})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repo, report, err := core.Learn(core.LearnConfig{
+		Profiler:  profiler,
+		Tuner:     tuner,
+		Workloads: core.WorkloadsFromTrace(day0, svc.DefaultMix()),
+		Rng:       rng,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learning day: %d classes; per-class instance types:", report.Classes)
+	for _, a := range report.Allocations {
+		fmt.Printf(" %s", a.Type.Name)
+	}
+	fmt.Println()
+
+	ctl, err := core.NewController(core.ControllerConfig{
+		Repository: repo,
+		Profiler:   profiler,
+		Tuner:      tuner,
+		Service:    svc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reuse, err := week.Slice(24, week.Len())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      reuse,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nhourly instance type over the six reuse days (L = large, X = extra-large):")
+	for day := 0; day < 6; day++ {
+		fmt.Printf("  day %d: ", day+2)
+		for h := 0; h < 24; h++ {
+			idx := (day*24+h)*60 + 59
+			if idx >= len(res.Records) {
+				break
+			}
+			c := "L"
+			if res.Records[idx].Allocation.Type.Name == cloud.XLarge.Name {
+				c = "X"
+			}
+			fmt.Print(c)
+		}
+		fmt.Println()
+	}
+
+	fixedCost := sim.FixedMaxCost(svc, reuse)
+	fmt.Printf("\ncost $%.2f vs always-extra-large $%.2f -> savings %.0f%%\n",
+		res.TotalCost, fixedCost, 100*res.CostSavingsVs(fixedCost))
+	fmt.Printf("QoS violations: %.1f%% of time (floor %.0f%%)\n",
+		100*res.SLOViolationFraction, svc.SLO().MinQoSPercent)
+}

@@ -1,0 +1,138 @@
+// Warm-start example: the extensions beyond the paper's evaluation.
+//
+// Part 1 — persistence: a learned repository is saved to JSON and
+// restored, surviving a management-plane restart with its classifier,
+// novelty model, and cached allocations intact.
+//
+// Part 2 — cross-tenant experience (§6 future work): two tenants run
+// the same service template behind a shared tuning cache; the second
+// tenant's learning phase reuses the first tenant's experiments and
+// runs (almost) no tuning of its own.
+//
+// Part 3 — interference attribution (§3.6 future work): comparing a
+// class's reference signature against a degraded one reveals which
+// resource the co-located tenant is hammering.
+//
+// Run with: go run ./examples/warmstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/services"
+	"repro/internal/trace"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	svc := services.NewCassandra()
+	day := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(480)
+	learning, err := day.Day(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads := core.WorkloadsFromTrace(learning, svc.DefaultMix())
+
+	// ---- Part 1: learn once, persist, restore --------------------
+	profiler, err := core.NewProfiler(svc, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := core.NewScaleOutTuner(svc, cloud.Large, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repo, report, err := core.Learn(core.LearnConfig{
+		Profiler: profiler, Tuner: tuner, Workloads: workloads, Rng: rng,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := repo.Save(&blob); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := core.LoadRepository(bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted repository: %d bytes JSON, %d classes, %d cached allocations\n",
+		blob.Len(), restored.Classes(), len(restored.Snapshot()))
+
+	w := services.Workload{Clients: 320, Mix: svc.DefaultMix()}
+	sig, err := profiler.Profile(w, restored.Events())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := restored.Lookup(sig, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored repository lookup at 320 clients: hit=%v allocation=%s\n\n",
+		res.Hit, res.Allocation)
+
+	// ---- Part 2: cross-tenant shared tuning ----------------------
+	cache := core.NewSharedTuningCache()
+	for tenant := 1; tenant <= 2; tenant++ {
+		tenantRng := rand.New(rand.NewSource(int64(100 + tenant)))
+		tenantSvc := services.NewCassandra()
+		tenantProf, err := core.NewProfiler(tenantSvc, tenantRng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inner, err := core.NewScaleOutTuner(tenantSvc, cloud.Large,
+			tenantSvc.MinInstances, tenantSvc.MaxInstances)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shared, err := core.NewSharedTuner(cache, tenantSvc, inner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := cache.Misses()
+		_, rep, err := core.Learn(core.LearnConfig{
+			Profiler: tenantProf, Tuner: shared, Workloads: workloads, Rng: tenantRng,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tenant %d: %d classes, %d real tuning runs, total tuning time %v\n",
+			tenant, rep.Classes, cache.Misses()-before, rep.TuningTime)
+	}
+	fmt.Printf("shared cache: %d operating points, %d cross-tenant hits\n\n",
+		cache.Len(), cache.Hits())
+
+	// ---- Part 3: interference attribution ------------------------
+	// Reference signature of the plateau class, recorded healthy.
+	events := []metrics.Event{
+		metrics.EvCPUClkUnhalt, metrics.EvFlopsRate,
+		metrics.EvL2Ads, metrics.EvL2St, metrics.EvL2RejectBusq,
+		metrics.EvXenVBDRd, metrics.EvXenVBDWr,
+	}
+	refSig, err := profiler.Profile(w, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The same class later, with a cache-thrashing neighbour: L2
+	// counters inflated.
+	observed := &core.Signature{Events: refSig.Events, Values: append([]float64(nil), refSig.Values...)}
+	observed.Values[2] *= 1.6 // l2_ads
+	observed.Values[3] *= 1.5 // l2_st
+	observed.Values[4] *= 2.1 // l2_reject_busq
+
+	scores, err := core.AttributeInterference(refSig, observed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("interference attribution (most affected subsystem first):")
+	for _, s := range scores {
+		fmt.Printf("  %-8s deviation %.0f%% (%d counters)\n", s.Resource, 100*s.Deviation, s.Events)
+	}
+	_ = report
+}

@@ -1,0 +1,216 @@
+// Package cloud simulates the virtualized hosting platform the paper
+// evaluates on (Amazon EC2, July 2011): an instance catalog with the
+// large and extra-large types used in the scale-up case study, hourly
+// billing at the paper's prices ($0.34/h large, $0.68/h extra large),
+// horizontal (scale-out) and vertical (scale-up) provisioning with
+// warm-up delays, and per-instance performance interference from
+// co-located tenants. DejaVu only interacts with the platform through
+// "apply this allocation" and "how much capacity do I actually get",
+// which is exactly what this package models.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// InstanceType describes one entry of the provider's catalog.
+type InstanceType struct {
+	// Name identifies the type ("small", "large", "xlarge").
+	Name string
+	// Capacity is the relative compute capacity in EC2-large units
+	// (large = 1.0, xlarge = 2.0).
+	Capacity float64
+	// PricePerHour is the on-demand price in USD.
+	PricePerHour float64
+	// WarmupDelay is how long a pre-created instance of this type
+	// takes to become useful after activation. The paper pre-creates
+	// VMs: "Pre-created VMs are ready for instant use, except for a
+	// short warm-up time."
+	WarmupDelay time.Duration
+}
+
+// The catalog entries used throughout the evaluation. Prices are the
+// paper's "as of July 2011" EC2 numbers.
+var (
+	Small  = InstanceType{Name: "small", Capacity: 0.25, PricePerHour: 0.085, WarmupDelay: 30 * time.Second}
+	Large  = InstanceType{Name: "large", Capacity: 1.0, PricePerHour: 0.34, WarmupDelay: 30 * time.Second}
+	XLarge = InstanceType{Name: "xlarge", Capacity: 2.0, PricePerHour: 0.68, WarmupDelay: 45 * time.Second}
+)
+
+// Catalog returns the instance types in ascending capacity order.
+func Catalog() []InstanceType { return []InstanceType{Small, Large, XLarge} }
+
+// TypeByName looks up a catalog entry.
+func TypeByName(name string) (InstanceType, error) {
+	for _, t := range Catalog() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return InstanceType{}, fmt.Errorf("cloud: unknown instance type %q", name)
+}
+
+// Allocation is a resource allocation decision: how many instances of
+// which type. It is the value DejaVu caches and reuses.
+type Allocation struct {
+	Type  InstanceType
+	Count int
+}
+
+// Capacity returns the total compute capacity in large-instance units.
+func (a Allocation) Capacity() float64 { return float64(a.Count) * a.Type.Capacity }
+
+// HourlyCost returns the allocation's cost per hour in USD.
+func (a Allocation) HourlyCost() float64 { return float64(a.Count) * a.Type.PricePerHour }
+
+// CostFor returns the cost of holding this allocation for d.
+func (a Allocation) CostFor(d time.Duration) float64 {
+	return a.HourlyCost() * d.Hours()
+}
+
+// Equal reports whether two allocations are the same decision.
+func (a Allocation) Equal(b Allocation) bool {
+	return a.Type.Name == b.Type.Name && a.Count == b.Count
+}
+
+// String renders the allocation like "4 x large".
+func (a Allocation) String() string { return fmt.Sprintf("%d x %s", a.Count, a.Type.Name) }
+
+// Validate checks the allocation is usable.
+func (a Allocation) Validate() error {
+	if a.Count <= 0 {
+		return fmt.Errorf("cloud: allocation count %d must be positive", a.Count)
+	}
+	if a.Type.Capacity <= 0 {
+		return errors.New("cloud: allocation has no instance type")
+	}
+	return nil
+}
+
+// Interference describes contention from co-located tenants on one
+// service instance: the fraction of the instance's capacity consumed
+// by neighbours (the paper injects microbenchmarks occupying 10% or
+// 20% of CPU and memory).
+type Interference struct {
+	// Fraction in [0, 1): capacity lost to co-located tenants.
+	Fraction float64
+}
+
+// Deployment is a live deployment of a service on the simulated
+// provider. Time is explicit: all methods take the current offset from
+// the simulation start, so deployments are fully deterministic and
+// never consult the wall clock.
+type Deployment struct {
+	current  Allocation
+	pending  *Allocation
+	readyAt  time.Duration
+	lastBill time.Duration
+	cost     float64
+	interf   Interference
+	changes  int
+}
+
+// NewDeployment starts a deployment with the given initial allocation,
+// active immediately.
+func NewDeployment(initial Allocation) (*Deployment, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	return &Deployment{current: initial}, nil
+}
+
+// Apply requests a new allocation at the given time. The change
+// becomes effective after the target type's warm-up delay; until then
+// the old allocation keeps serving (and keeps being billed — the
+// provider charges for what is provisioned). Applying an allocation
+// equal to the current one is a no-op. Billing is brought up to date
+// first.
+func (d *Deployment) Apply(now time.Duration, a Allocation) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	d.settle(now)
+	if a.Equal(d.current) && d.pending == nil {
+		return nil
+	}
+	d.accrue(now)
+	alloc := a
+	d.pending = &alloc
+	d.readyAt = now + a.Type.WarmupDelay
+	d.changes++
+	return nil
+}
+
+// settle promotes a pending allocation that has finished warming up.
+func (d *Deployment) settle(now time.Duration) {
+	if d.pending != nil && now >= d.readyAt {
+		// Bill the interval served by the old allocation.
+		d.accrue(d.readyAt)
+		d.current = *d.pending
+		d.pending = nil
+	}
+}
+
+// accrue charges the current allocation from the last billing point to
+// now.
+func (d *Deployment) accrue(now time.Duration) {
+	if now <= d.lastBill {
+		return
+	}
+	d.cost += d.current.CostFor(now - d.lastBill)
+	d.lastBill = now
+}
+
+// Allocation returns the allocation serving at the given time.
+func (d *Deployment) Allocation(now time.Duration) Allocation {
+	d.settle(now)
+	return d.current
+}
+
+// TargetAllocation returns the most recently requested allocation,
+// whether or not it has finished warming up.
+func (d *Deployment) TargetAllocation() Allocation {
+	if d.pending != nil {
+		return *d.pending
+	}
+	return d.current
+}
+
+// InTransition reports whether a requested change is still warming up.
+func (d *Deployment) InTransition(now time.Duration) bool {
+	d.settle(now)
+	return d.pending != nil
+}
+
+// SetInterference sets the co-located tenant contention affecting this
+// deployment's instances.
+func (d *Deployment) SetInterference(i Interference) error {
+	if i.Fraction < 0 || i.Fraction >= 1 {
+		return fmt.Errorf("cloud: interference fraction %v out of [0,1)", i.Fraction)
+	}
+	d.interf = i
+	return nil
+}
+
+// Interference returns the current contention setting.
+func (d *Deployment) Interference() Interference { return d.interf }
+
+// EffectiveCapacity returns the capacity actually available to the
+// service at the given time: the active allocation's nominal capacity
+// reduced by interference.
+func (d *Deployment) EffectiveCapacity(now time.Duration) float64 {
+	d.settle(now)
+	return d.current.Capacity() * (1 - d.interf.Fraction)
+}
+
+// Cost returns the accumulated bill up to the given time.
+func (d *Deployment) Cost(now time.Duration) float64 {
+	d.settle(now)
+	d.accrue(now)
+	return d.cost
+}
+
+// Changes returns how many allocation changes were requested.
+func (d *Deployment) Changes() int { return d.changes }

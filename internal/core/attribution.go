@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Interference attribution realizes §3.6's forward-looking mechanism:
+// "Assuming that the cloud provider collects the low-level metrics
+// from its VM instances, it might compare the metric values imposed by
+// the same workload class over time to reveal which resource is
+// primarily affected by the interference (e.g., cache, I/O)."
+
+// Resource is a coarse hardware subsystem.
+type Resource string
+
+// The attribution subsystems.
+const (
+	ResourceCPU     Resource = "cpu"
+	ResourceCache   Resource = "cache"
+	ResourceMemory  Resource = "memory"
+	ResourceIO      Resource = "io"
+	ResourceNetwork Resource = "network"
+	ResourceOther   Resource = "other"
+)
+
+// eventResource maps catalog events to the subsystem they monitor.
+var eventResource = map[metrics.Event]Resource{
+	metrics.EvCPUClkUnhalt:  ResourceCPU,
+	metrics.EvInstRetired:   ResourceCPU,
+	metrics.EvBrInstRetired: ResourceCPU,
+	metrics.EvBrMispredict:  ResourceCPU,
+	metrics.EvFlopsRate:     ResourceCPU,
+	metrics.EvXenCPU:        ResourceCPU,
+
+	metrics.EvL2Ads:        ResourceCache,
+	metrics.EvL2RejectBusq: ResourceCache,
+	metrics.EvL2St:         ResourceCache,
+	metrics.EvL2Lines:      ResourceCache,
+	metrics.EvL1DRepl:      ResourceCache,
+	metrics.EvBusqEmpty:    ResourceCache,
+
+	metrics.EvLoadBlock:  ResourceMemory,
+	metrics.EvStoreBlock: ResourceMemory,
+	metrics.EvPageWalks:  ResourceMemory,
+	metrics.EvDTLBMiss:   ResourceMemory,
+	metrics.EvITLBMiss:   ResourceMemory,
+	metrics.EvXenMem:     ResourceMemory,
+
+	metrics.EvXenVBDRd: ResourceIO,
+	metrics.EvXenVBDWr: ResourceIO,
+
+	metrics.EvXenNetTx: ResourceNetwork,
+	metrics.EvXenNetRx: ResourceNetwork,
+}
+
+// ResourceOf returns the subsystem an event monitors (ResourceOther
+// for synthetic filler events).
+func ResourceOf(ev metrics.Event) Resource {
+	if r, ok := eventResource[ev]; ok {
+		return r
+	}
+	return ResourceOther
+}
+
+// ResourceScore is one subsystem's attribution result.
+type ResourceScore struct {
+	Resource Resource
+	// Deviation is the mean relative deviation of the subsystem's
+	// counters between the reference and observed signatures; the
+	// subsystem with the largest deviation is the prime suspect.
+	Deviation float64
+	// Events is how many counters contributed.
+	Events int
+}
+
+// AttributeInterference compares a reference signature (the same
+// workload class, recorded in isolation or at an earlier healthy
+// point) against the currently observed one and ranks subsystems by
+// relative deviation. Both signatures must cover the same events in
+// the same order.
+func AttributeInterference(reference, observed *Signature) ([]ResourceScore, error) {
+	if err := reference.Validate(); err != nil {
+		return nil, err
+	}
+	if err := observed.Validate(); err != nil {
+		return nil, err
+	}
+	if len(reference.Events) != len(observed.Events) {
+		return nil, errors.New("core: signatures cover different events")
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	byResource := map[Resource]*acc{}
+	for i, ev := range reference.Events {
+		if observed.Events[i] != ev {
+			return nil, errors.New("core: signature event order differs")
+		}
+		ref := reference.Values[i]
+		if ref == 0 {
+			continue // cannot compute a relative deviation
+		}
+		dev := (observed.Values[i] - ref) / ref
+		if dev < 0 {
+			dev = -dev
+		}
+		r := ResourceOf(ev)
+		a := byResource[r]
+		if a == nil {
+			a = &acc{}
+			byResource[r] = a
+		}
+		a.sum += dev
+		a.n++
+	}
+	out := make([]ResourceScore, 0, len(byResource))
+	for r, a := range byResource {
+		out = append(out, ResourceScore{Resource: r, Deviation: a.sum / float64(a.n), Events: a.n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Deviation != out[j].Deviation {
+			return out[i].Deviation > out[j].Deviation
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out, nil
+}

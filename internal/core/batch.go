@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/services"
+)
+
+// Batch diagnosis — the paper's §3.7 mechanism: "Upon an SLO
+// violation, DejaVu would run a subset of tasks in isolation to
+// determine the interference index. This computation would also expose
+// cases in which interference is not significant and the user simply
+// mis-estimated the expected running times."
+
+// BatchDiagnosis is the outcome of a batch SLO investigation.
+type BatchDiagnosis int
+
+// The possible diagnoses.
+const (
+	// BatchHealthy: the observed task durations meet the SLO.
+	BatchHealthy BatchDiagnosis = iota
+	// BatchInterference: tasks run significantly slower in
+	// production than in isolation — co-located tenants are to
+	// blame; provision more resources.
+	BatchInterference
+	// BatchMisestimated: isolation runs are as slow as production,
+	// so the user's expected running time was simply optimistic.
+	BatchMisestimated
+)
+
+// String renders the diagnosis.
+func (d BatchDiagnosis) String() string {
+	switch d {
+	case BatchHealthy:
+		return "healthy"
+	case BatchInterference:
+		return "interference"
+	case BatchMisestimated:
+		return "mis-estimated expectation"
+	default:
+		return "unknown"
+	}
+}
+
+// BatchReport carries the diagnosis and the measured index.
+type BatchReport struct {
+	Diagnosis BatchDiagnosis
+	// Index is production task duration over isolation task
+	// duration (Eq. 2 with running time as the performance level).
+	Index float64
+	// Production and Isolation are the measured per-task durations.
+	Production time.Duration
+	Isolation  time.Duration
+}
+
+// batchInterferenceThreshold: index above this blames interference.
+const batchInterferenceThreshold = 1.15
+
+// DiagnoseBatch investigates a batch job's SLO violation. production
+// is the observed per-task duration in the shared environment;
+// isolation is the duration of the probe subset re-run in the
+// profiling environment.
+func DiagnoseBatch(job *services.BatchJob, production, isolation time.Duration) (*BatchReport, error) {
+	if job == nil {
+		return nil, errors.New("core: nil batch job")
+	}
+	if production <= 0 || isolation <= 0 {
+		return nil, errors.New("core: durations must be positive")
+	}
+	rep := &BatchReport{
+		Production: production,
+		Isolation:  isolation,
+		Index:      float64(production) / float64(isolation),
+	}
+	if rep.Index < 1 {
+		rep.Index = 1
+	}
+	switch {
+	case job.SLOMet(production):
+		rep.Diagnosis = BatchHealthy
+	case rep.Index > batchInterferenceThreshold:
+		rep.Diagnosis = BatchInterference
+	default:
+		rep.Diagnosis = BatchMisestimated
+	}
+	return rep, nil
+}
+
+// ProbeBatchIsolation simulates re-running a subset of tasks in the
+// isolated profiling environment with the given per-task capacity:
+// the profiler is interference-free by construction.
+func ProbeBatchIsolation(job *services.BatchJob, unitsPerTask float64) time.Duration {
+	return job.TaskDuration(unitsPerTask, 0)
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/services"
+	"repro/internal/sim"
+)
+
+// ControllerConfig configures the runtime DejaVu controller.
+type ControllerConfig struct {
+	// Repository is the learned signature cache.
+	Repository *Repository
+	// Profiler collects runtime signatures (~10 s each).
+	Profiler *Profiler
+	// Tuner handles repository misses (new interference buckets).
+	Tuner Tuner
+	// Service provides SLO and full-capacity information.
+	Service services.Service
+	// ProfileInterval is the periodic profiling cadence (default
+	// 1 hour, the traces' granularity).
+	ProfileInterval time.Duration
+	// SignatureTime is the signature collection latency charged per
+	// adaptation (default DefaultSignatureWindow = 10 s).
+	SignatureTime time.Duration
+	// InterferenceDetection enables the Eq. 2 feedback loop;
+	// disabling it reproduces the interference-oblivious baseline of
+	// Fig. 11.
+	InterferenceDetection bool
+	// OnDemandProfiling additionally triggers a profiling round as
+	// soon as the SLO is violated rather than waiting for the next
+	// periodic round — the paper's "periodically or on-demand (e.g.,
+	// upon a violation of an SLO)". Useful when the workload can
+	// change between periodic rounds.
+	OnDemandProfiling bool
+	// OnDemandCooldown rate-limits violation-triggered profiling
+	// (default 5 minutes).
+	OnDemandCooldown time.Duration
+	// RelearnThreshold is the number of consecutive unforeseen
+	// profiling rounds after which the controller reports that the
+	// clustering has gone stale (paper §3.5: "If the repository
+	// repeatedly outputs low certainty levels, it most likely means
+	// that the workload has changed over time and the current
+	// clustering is no longer relevant"). Default 3.
+	RelearnThreshold int
+	// InterferenceGrace is how long after an allocation change the
+	// controller waits before blaming interference for violations,
+	// covering warm-up and the worst of the re-partitioning
+	// transient (default: half the service's stabilization period,
+	// floored at 2 minutes).
+	InterferenceGrace time.Duration
+}
+
+// Controller is the runtime DejaVu loop (paper §3.5–3.6): on workload
+// change, collect a signature, classify it, and instantly reuse the
+// cached allocation; fall back to full capacity for unforeseen
+// workloads; detect interference through the performance index and
+// re-provision from the interference-keyed cache.
+type Controller struct {
+	cfg ControllerConfig
+
+	lastProfile          time.Duration
+	lastDecision         time.Duration
+	currentClass         int
+	currentBucket        int
+	adaptations          []time.Duration
+	unforeseenCount      int
+	consecutiveUnforseen int
+	tuningCount          int
+	interferenceHit      int
+}
+
+// NewController validates the configuration and returns a runtime
+// controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if cfg.Repository == nil || cfg.Profiler == nil || cfg.Tuner == nil || cfg.Service == nil {
+		return nil, errors.New("core: controller needs Repository, Profiler, Tuner, and Service")
+	}
+	if cfg.ProfileInterval <= 0 {
+		cfg.ProfileInterval = time.Hour
+	}
+	if cfg.SignatureTime <= 0 {
+		cfg.SignatureTime = DefaultSignatureWindow
+	}
+	if cfg.InterferenceGrace <= 0 {
+		cfg.InterferenceGrace = cfg.Service.StabilizationPeriod() / 2
+		if cfg.InterferenceGrace < 2*time.Minute {
+			cfg.InterferenceGrace = 2 * time.Minute
+		}
+	}
+	if cfg.OnDemandCooldown <= 0 {
+		cfg.OnDemandCooldown = 5 * time.Minute
+	}
+	if cfg.RelearnThreshold <= 0 {
+		cfg.RelearnThreshold = 3
+	}
+	return &Controller{
+		cfg:          cfg,
+		lastProfile:  -1 << 62,
+		lastDecision: -1 << 62,
+		currentClass: -1,
+	}, nil
+}
+
+// Name implements sim.Controller.
+func (c *Controller) Name() string { return "dejavu" }
+
+// Step implements sim.Controller.
+func (c *Controller) Step(obs sim.Observation) (sim.Action, error) {
+	if obs.InTransition {
+		return sim.Action{}, nil
+	}
+
+	// Periodic (or first) profiling: the cache-hit fast path. An SLO
+	// violation triggers the same round early when on-demand
+	// profiling is enabled — a workload change between periodic
+	// rounds then costs minutes instead of up to a full interval.
+	periodic := obs.Now-c.lastProfile >= c.cfg.ProfileInterval
+	onDemand := c.cfg.OnDemandProfiling && obs.SLOViolated &&
+		obs.Now-c.lastProfile >= c.cfg.OnDemandCooldown &&
+		obs.Now-c.lastDecision >= c.cfg.OnDemandCooldown
+	if periodic || onDemand {
+		c.lastProfile = obs.Now
+		return c.profileAndReuse(obs)
+	}
+
+	// On-demand path: an SLO violation outside any transition or
+	// grace window points at interference (the workload class was
+	// just verified, so "workload changes are excluded from the
+	// potential reasons").
+	if c.cfg.InterferenceDetection && obs.SLOViolated &&
+		obs.Now-c.lastDecision >= c.cfg.InterferenceGrace && c.currentClass >= 0 {
+		return c.handleInterference(obs)
+	}
+	return sim.Action{}, nil
+}
+
+// profileAndReuse collects a signature, classifies it, and reuses the
+// cached allocation.
+func (c *Controller) profileAndReuse(obs sim.Observation) (sim.Action, error) {
+	sig, err := c.cfg.Profiler.Profile(obs.Workload, c.cfg.Repository.Events())
+	if err != nil {
+		return sim.Action{}, fmt.Errorf("core: runtime profiling: %w", err)
+	}
+
+	// Track the current interference level so the lookup lands in
+	// the right bucket even across workload-class changes.
+	if c.cfg.InterferenceDetection {
+		c.currentBucket = c.estimateBucket(obs)
+	}
+
+	res, err := c.cfg.Repository.Lookup(sig, c.currentBucket)
+	if err != nil {
+		return sim.Action{}, err
+	}
+	if res.Unforeseen {
+		// "DejaVu configures the service with the maximum allowed
+		// capacity to ensure that the performance is not affected
+		// when experiencing non-classified workloads."
+		c.unforeseenCount++
+		c.consecutiveUnforseen++
+		c.currentClass = -1
+		max := c.cfg.Service.MaxAllocation()
+		return c.decide(obs, max, c.cfg.SignatureTime), nil
+	}
+	c.consecutiveUnforseen = 0
+	c.currentClass = res.Class
+	if res.Hit {
+		return c.decide(obs, res.Allocation, c.cfg.SignatureTime), nil
+	}
+	// Known class, missing interference bucket: tune under the
+	// bucket's representative contention and cache the result.
+	alloc, err := c.tuneAndStore(obs.Workload, res.Class, c.currentBucket)
+	if err != nil {
+		return sim.Action{}, err
+	}
+	return c.decide(obs, alloc, c.cfg.SignatureTime+c.cfg.Tuner.Duration()), nil
+}
+
+// handleInterference runs the Eq. 2 feedback loop.
+func (c *Controller) handleInterference(obs sim.Observation) (sim.Action, error) {
+	bucket := c.estimateBucket(obs)
+	if bucket <= c.currentBucket {
+		// The estimate does not explain the violation with a higher
+		// bucket; escalate by one to provision more resources (the
+		// pragmatic "request more resources" response).
+		bucket = c.currentBucket + 1
+	}
+	if bucket > maxInterferenceBucket {
+		bucket = maxInterferenceBucket
+	}
+	c.currentBucket = bucket
+	c.interferenceHit++
+
+	if alloc, ok := c.cfg.Repository.Get(c.currentClass, bucket); ok {
+		return c.decide(obs, alloc, c.cfg.SignatureTime), nil
+	}
+	alloc, err := c.tuneAndStore(obs.Workload, c.currentClass, bucket)
+	if err != nil {
+		return sim.Action{}, err
+	}
+	return c.decide(obs, alloc, c.cfg.SignatureTime+c.cfg.Tuner.Duration()), nil
+}
+
+// estimateBucket contrasts the measured production performance with
+// the profiler's isolation performance for the current allocation,
+// then inverts the latency model to recover the contention fraction —
+// an allocation-invariant quantity, so the estimate stays stable after
+// a compensating allocation deploys.
+func (c *Controller) estimateBucket(obs sim.Observation) int {
+	iso := c.cfg.Profiler.IsolationPerf(obs.Workload, obs.Allocation.Capacity())
+	index := InterferenceIndex(obs.Perf, iso)
+	fraction := EstimateInterferenceFraction(index, iso.Utilization)
+	return BucketForFraction(fraction)
+}
+
+func (c *Controller) tuneAndStore(w services.Workload, class, bucket int) (cloud.Allocation, error) {
+	frac := FractionForBucket(bucket)
+	alloc, err := c.cfg.Tuner.Tune(w, frac)
+	if err != nil {
+		return cloud.Allocation{}, fmt.Errorf("core: tuning class %d bucket %d: %w", class, bucket, err)
+	}
+	c.tuningCount++
+	if err := c.cfg.Repository.Put(class, bucket, alloc); err != nil {
+		return cloud.Allocation{}, err
+	}
+	return alloc, nil
+}
+
+// decide wraps an allocation change into an action and records the
+// adaptation time; unchanged allocations cost nothing.
+func (c *Controller) decide(obs sim.Observation, alloc cloud.Allocation, decisionTime time.Duration) sim.Action {
+	if alloc.Equal(obs.TargetAllocation) {
+		return sim.Action{}
+	}
+	c.lastDecision = obs.Now + decisionTime
+	c.adaptations = append(c.adaptations, decisionTime)
+	target := alloc
+	return sim.Action{Target: &target, DecisionTime: decisionTime}
+}
+
+// AdaptationTimes returns the decision latency of every allocation
+// change the controller made (10 s on cache hits; signature time plus
+// tuning time on misses) — the quantity Figure 8 compares against
+// RightScale.
+func (c *Controller) AdaptationTimes() []time.Duration {
+	return append([]time.Duration(nil), c.adaptations...)
+}
+
+// UnforeseenCount returns how many profiling rounds fell back to full
+// capacity.
+func (c *Controller) UnforeseenCount() int { return c.unforeseenCount }
+
+// TuningCount returns how many tuner invocations the runtime needed.
+func (c *Controller) TuningCount() int { return c.tuningCount }
+
+// InterferenceEvents returns how many times the interference loop
+// fired.
+func (c *Controller) InterferenceEvents() int { return c.interferenceHit }
+
+// NeedsRelearning reports whether the clustering has gone stale:
+// RelearnThreshold consecutive profiling rounds failed to classify.
+// The Relearner acts on this signal by re-running the learning phase.
+func (c *Controller) NeedsRelearning() bool {
+	return c.consecutiveUnforseen >= c.cfg.RelearnThreshold
+}
+
+// ReplaceRepository swaps in a freshly learned repository and resets
+// the staleness tracking; used by the Relearner after re-clustering.
+func (c *Controller) ReplaceRepository(repo *Repository) error {
+	if repo == nil {
+		return errors.New("core: nil repository")
+	}
+	c.cfg.Repository = repo
+	c.consecutiveUnforseen = 0
+	c.currentClass = -1
+	c.currentBucket = 0
+	return nil
+}
+
+var _ sim.Controller = (*Controller)(nil)

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// buildDejaVu learns on the trace's first day and returns a runtime
+// controller for Cassandra scale-out.
+func buildDejaVu(t *testing.T, tr *trace.Trace, seed int64, interference bool) (*Controller, *Repository) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	svc := services.NewCassandra()
+	day0, err := tr.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := NewProfiler(svc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewScaleOutTuner(svc, cloud.Large, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, _, err := Learn(LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: WorkloadsFromTrace(day0, svc.DefaultMix()),
+		Rng:       rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(ControllerConfig{
+		Repository:            repo,
+		Profiler:              prof,
+		Tuner:                 tuner,
+		Service:               svc,
+		InterferenceDetection: interference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, repo
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(ControllerConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestControllerReusesAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(500)
+	ctl, repo := buildDejaVu(t, tr, 1, false)
+	svc := services.NewCassandra()
+
+	// Replay days 1-2.
+	rest, err := tr.Slice(24, 3*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      rest,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller must adapt (multiple decisions) and almost all
+	// of them must be fast cache hits (~10 s, no tuning).
+	if res.Decisions < 4 {
+		t.Errorf("Decisions=%d want >= 4 over two days", res.Decisions)
+	}
+	if ctl.TuningCount() > 1 {
+		t.Errorf("TuningCount=%d: runtime should reuse cached allocations", ctl.TuningCount())
+	}
+	fast := 0
+	for _, d := range ctl.AdaptationTimes() {
+		if d <= DefaultSignatureWindow {
+			fast++
+		}
+	}
+	if fast < len(ctl.AdaptationTimes())-1 {
+		t.Errorf("only %d/%d adaptations were cache-hit fast", fast, len(ctl.AdaptationTimes()))
+	}
+	// SLO is mostly met (paper keeps latency below 60 ms except
+	// short adaptation windows and re-partitioning transients).
+	if res.SLOViolationFraction > 0.15 {
+		t.Errorf("SLO violation fraction=%v want <= 0.15", res.SLOViolationFraction)
+	}
+	// It must also be much cheaper than the fixed max.
+	savings := res.CostSavingsVs(sim.FixedMaxCost(svc, rest))
+	if savings < 0.30 {
+		t.Errorf("savings=%v want >= 0.30", savings)
+	}
+	if repo.HitRate() < 0.8 {
+		t.Errorf("hit rate=%v want >= 0.8", repo.HitRate())
+	}
+}
+
+func TestControllerUnforeseenFallsBackToFullCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := trace.HotMail(trace.SynthConfig{Rng: rng}).ScaleTo(500)
+	ctl, _ := buildDejaVu(t, tr, 2, false)
+	svc := services.NewCassandra()
+
+	// Replay day 3 (zero-based), which contains the surge hour.
+	day3, err := tr.Slice(3*24, 4*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      day3,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.UnforeseenCount() == 0 {
+		t.Error("surge hour should be flagged unforeseen")
+	}
+	// During the surge hour the allocation must be at full capacity.
+	surgeStart := 20 * 60 // minute index of hour 20
+	fullAt := false
+	for i := surgeStart + 2; i < surgeStart+60 && i < len(res.Records); i++ {
+		if res.Records[i].Allocation.Count == svc.MaxInstances {
+			fullAt = true
+			break
+		}
+	}
+	if !fullAt {
+		t.Error("surge hour not served at full capacity")
+	}
+}
+
+func TestControllerInterferenceDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(500)
+	svc := services.NewCassandra()
+
+	day12, err := tr.Slice(24, 3*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interf := func(now time.Duration) float64 {
+		if now >= 6*time.Hour {
+			return 0.2
+		}
+		return 0
+	}
+
+	run := func(detect bool, seed int64) (*sim.Result, *Controller) {
+		ctl, _ := buildDejaVu(t, tr, seed, detect)
+		res, err := sim.Run(sim.Config{
+			Service:      svc,
+			Trace:        day12,
+			Controller:   ctl,
+			Initial:      svc.MaxAllocation(),
+			Interference: interf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ctl
+	}
+
+	on, ctlOn := run(true, 3)
+	off, _ := run(false, 3)
+
+	if ctlOn.InterferenceEvents() == 0 {
+		t.Error("interference loop never fired")
+	}
+	if on.SLOViolationFraction >= off.SLOViolationFraction {
+		t.Errorf("detection on violations=%v should beat off=%v",
+			on.SLOViolationFraction, off.SLOViolationFraction)
+	}
+	// Detection compensates with more resources (paper Fig. 11b).
+	if on.MeanAllocatedInstances() <= off.MeanAllocatedInstances() {
+		t.Errorf("detection on instances=%v should exceed off=%v",
+			on.MeanAllocatedInstances(), off.MeanAllocatedInstances())
+	}
+}
+
+func TestControllerAdaptationTimesAreSeconds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(500)
+	ctl, _ := buildDejaVu(t, tr, 4, false)
+	svc := services.NewCassandra()
+	day1, err := tr.Day(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      day1,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	times := ctl.AdaptationTimes()
+	if len(times) == 0 {
+		t.Fatal("no adaptations recorded")
+	}
+	for _, d := range times {
+		if d > time.Minute {
+			t.Errorf("adaptation %v too slow for a cache hit", d)
+		}
+	}
+}
+
+func TestControllerStaysPutOnStableLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(500)
+	ctl, _ := buildDejaVu(t, tr, 5, false)
+	svc := services.NewCassandra()
+
+	// Flat trace at the afternoon plateau level for 6 hours.
+	flat := &trace.Trace{Name: "flat", Step: time.Hour, Loads: []float64{400, 400, 400, 400, 400, 400}}
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      flat,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One adaptation (down from max) and then stability.
+	if res.Decisions > 2 {
+		t.Errorf("Decisions=%d on flat load, want <= 2", res.Decisions)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/services"
+)
+
+// InterferenceIndex computes the paper's Eq. 2:
+//
+//	index = PerformanceLevel_production / PerformanceLevel_isolation
+//
+// oriented so that 1.0 means no interference and larger values mean
+// more degradation. For latency-style metrics that is the production
+// latency over the isolation latency; for QoS-style metrics the
+// isolation QoS over the production QoS. The latency ratio is used
+// whenever both performances carry a latency, since every service in
+// this repository reports one.
+func InterferenceIndex(production, isolation services.Perf) float64 {
+	if isolation.LatencyMs > 0 && production.LatencyMs > 0 {
+		idx := production.LatencyMs / isolation.LatencyMs
+		if idx < 1 {
+			return 1
+		}
+		return idx
+	}
+	if production.QoSPercent > 0 && isolation.QoSPercent > 0 {
+		idx := isolation.QoSPercent / production.QoSPercent
+		if idx < 1 {
+			return 1
+		}
+		return idx
+	}
+	return 1
+}
+
+// EstimateInterferenceFraction inverts the open-system latency model
+// to recover the fraction of capacity stolen by co-located tenants
+// from the observed interference index and the isolation utilization:
+//
+//	index = (1 - rhoIso) / (1 - rhoProd)   (M/M/1 latency ratio)
+//	rhoProd = rhoIso / (1 - f)
+//
+// giving f = 1 - rhoIso / rhoProd with rhoProd = 1 - (1-rhoIso)/index.
+// The estimate is clamped to [0, 0.9] and degenerate inputs return 0.
+func EstimateInterferenceFraction(index, rhoIso float64) float64 {
+	if index <= 1 || rhoIso <= 0 || rhoIso >= 1 {
+		return 0
+	}
+	rhoProd := 1 - (1-rhoIso)/index
+	if rhoProd <= rhoIso {
+		return 0
+	}
+	if rhoProd > 0.99 {
+		rhoProd = 0.99
+	}
+	f := 1 - rhoIso/rhoProd
+	if f < 0 {
+		return 0
+	}
+	if f > 0.9 {
+		return 0.9
+	}
+	return f
+}
+
+// FractionForBucket returns the representative contention fraction of
+// a repository bucket (its upper edge, so the tuned allocation covers
+// the whole bucket).
+func FractionForBucket(bucket int) float64 {
+	if bucket <= 0 {
+		return 0
+	}
+	f := float64(bucket) * InterferenceBucketWidth
+	if f > 0.9 {
+		f = 0.9
+	}
+	return f
+}

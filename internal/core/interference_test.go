@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/services"
+)
+
+func TestInterferenceIndexLatency(t *testing.T) {
+	prod := services.Perf{LatencyMs: 90}
+	iso := services.Perf{LatencyMs: 60}
+	if got := InterferenceIndex(prod, iso); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("index=%v want 1.5", got)
+	}
+	// Production faster than isolation: clamp to 1 (no interference).
+	if got := InterferenceIndex(iso, prod); got != 1 {
+		t.Errorf("reverse index=%v want 1", got)
+	}
+}
+
+func TestInterferenceIndexQoS(t *testing.T) {
+	prod := services.Perf{QoSPercent: 80}
+	iso := services.Perf{QoSPercent: 100}
+	if got := InterferenceIndex(prod, iso); math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("QoS index=%v want 1.25", got)
+	}
+}
+
+func TestInterferenceIndexDegenerate(t *testing.T) {
+	if got := InterferenceIndex(services.Perf{}, services.Perf{}); got != 1 {
+		t.Errorf("degenerate index=%v want 1", got)
+	}
+}
+
+func TestEstimateInterferenceFractionRoundTrip(t *testing.T) {
+	// Forward: with true fraction f, rhoProd = rhoIso/(1-f) and the
+	// M/M/1 index is (1-rhoIso)/(1-rhoProd). The estimator must
+	// recover f.
+	for _, f := range []float64{0.1, 0.2, 0.3} {
+		for _, rhoIso := range []float64{0.5, 0.6, 0.75} {
+			rhoProd := rhoIso / (1 - f)
+			if rhoProd >= 1 {
+				continue
+			}
+			index := (1 - rhoIso) / (1 - rhoProd)
+			got := EstimateInterferenceFraction(index, rhoIso)
+			if math.Abs(got-f) > 1e-9 {
+				t.Errorf("f=%v rhoIso=%v: estimated %v", f, rhoIso, got)
+			}
+		}
+	}
+}
+
+func TestEstimateInterferenceFractionGuards(t *testing.T) {
+	if got := EstimateInterferenceFraction(0.9, 0.5); got != 0 {
+		t.Errorf("index<1 should give 0, got %v", got)
+	}
+	if got := EstimateInterferenceFraction(1.5, 0); got != 0 {
+		t.Errorf("rhoIso=0 should give 0, got %v", got)
+	}
+	if got := EstimateInterferenceFraction(1.5, 1); got != 0 {
+		t.Errorf("rhoIso=1 should give 0, got %v", got)
+	}
+	// Huge index: clamped to 0.9.
+	if got := EstimateInterferenceFraction(1000, 0.9); got > 0.9 {
+		t.Errorf("fraction should be clamped at 0.9, got %v", got)
+	}
+}
+
+func TestFractionForBucket(t *testing.T) {
+	if got := FractionForBucket(0); got != 0 {
+		t.Errorf("bucket 0 fraction=%v want 0", got)
+	}
+	prev := 0.0
+	for b := 1; b <= 4; b++ {
+		f := FractionForBucket(b)
+		if f <= prev {
+			t.Errorf("bucket %d fraction %v not increasing (prev %v)", b, f, prev)
+		}
+		if f >= 1 {
+			t.Errorf("bucket %d fraction %v out of range", b, f)
+		}
+		prev = f
+	}
+}

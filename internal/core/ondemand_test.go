@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+
+	"repro/internal/services"
+)
+
+// TestOnDemandProfilingReactsFaster: a load spike in the middle of an
+// hour. Periodic-only profiling adapts at the next hour boundary;
+// on-demand profiling adapts within its cooldown.
+func TestOnDemandProfilingReactsFaster(t *testing.T) {
+	run := func(onDemand bool) *sim.Result {
+		rng := trace.SynthConfig{} // deterministic trace, no jitter
+		_ = rng
+		svc := services.NewCassandra()
+		tr := trace.Messenger(trace.SynthConfig{}).ScaleTo(480)
+		ctl, _ := buildDejaVuWithOptions(t, tr, 51, onDemand)
+
+		// Flat shoulder load, then a spike to plateau level at
+		// minute 30 (mid-hour).
+		loads := make([]float64, 120)
+		for i := range loads {
+			if i < 30 {
+				loads[i] = 170
+			} else {
+				loads[i] = 330
+			}
+		}
+		spike := &trace.Trace{Name: "midhour-spike", Step: time.Minute, Loads: loads}
+		res, err := sim.Run(sim.Config{
+			Service:    svc,
+			Trace:      spike,
+			Controller: ctl,
+			Initial:    svc.MaxAllocation(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	fast := run(true)
+	slow := run(false)
+
+	violationsIn := func(res *sim.Result, from, to int) int {
+		n := 0
+		for i := from; i < to && i < len(res.Records); i++ {
+			if res.Records[i].SLOViolated {
+				n++
+			}
+		}
+		return n
+	}
+	// Between the spike (minute 30) and the next periodic round
+	// (minute 60), the on-demand controller must violate much less.
+	fastBad := violationsIn(fast, 30, 60)
+	slowBad := violationsIn(slow, 30, 60)
+	if fastBad >= slowBad {
+		t.Errorf("on-demand violations %d should be below periodic-only %d", fastBad, slowBad)
+	}
+	if slowBad < 15 {
+		t.Errorf("periodic-only should suffer most of the half hour, got %d violated minutes", slowBad)
+	}
+	if fastBad > 10 {
+		t.Errorf("on-demand should recover within its cooldown, got %d violated minutes", fastBad)
+	}
+}
+
+// buildDejaVuWithOptions mirrors buildDejaVu with the on-demand flag.
+func buildDejaVuWithOptions(t *testing.T, tr *trace.Trace, seed int64, onDemand bool) (*Controller, *Repository) {
+	t.Helper()
+	ctl, repo := buildDejaVu(t, tr, seed, false)
+	if !onDemand {
+		return ctl, repo
+	}
+	cfg := ctl.cfg
+	cfg.OnDemandProfiling = true
+	out, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, repo
+}

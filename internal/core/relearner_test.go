@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// driftScenario learns at a small scale and then replays the same
+// diurnal pattern 60% hotter: the new levels fall outside every
+// learned class, so the repository goes stale.
+func driftScenario(t *testing.T, seed int64) (*Controller, LearnConfig, *services.Cassandra, *trace.Trace) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	svc := services.NewCassandra()
+	small := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(300)
+	day0, err := small.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := NewProfiler(svc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewScaleOutTuner(svc, cloud.Large, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := LearnConfig{Profiler: prof, Tuner: tuner, Rng: rng}
+	learnCfg := template
+	learnCfg.Workloads = WorkloadsFromTrace(day0, svc.DefaultMix())
+	repo, _, err := Learn(learnCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(ControllerConfig{
+		Repository: repo,
+		Profiler:   prof,
+		Tuner:      tuner,
+		Service:    svc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drifted workload: same shape, 1.6x the volume (peak 480).
+	drifted := trace.Messenger(trace.SynthConfig{Rng: rand.New(rand.NewSource(seed + 1))}).ScaleTo(480)
+	return ctl, template, svc, drifted
+}
+
+func TestNeedsRelearningAfterDrift(t *testing.T) {
+	ctl, _, svc, drifted := driftScenario(t, 61)
+	// Replay only the drifted afternoon/evening (plateau + peak,
+	// hours 14-21 of day 1): every one of them lies outside the
+	// learned classes, so the consecutive-unforeseen counter is
+	// still high when the run ends.
+	window, err := drifted.Slice(24+14, 24+22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      window,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.UnforeseenCount() < 3 {
+		t.Fatalf("drifted trace should look unforeseen, got %d events", ctl.UnforeseenCount())
+	}
+	if !ctl.NeedsRelearning() {
+		t.Error("repeated unforeseen rounds should flag stale clustering")
+	}
+}
+
+func TestRelearnerRecoversFromDrift(t *testing.T) {
+	ctl, template, svc, drifted := driftScenario(t, 62)
+	rl, err := NewRelearner(ctl, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two drifted days: staleness is detected during day one,
+	// re-learning runs, and day two is served from the new classes.
+	window, err := drifted.Slice(24, 3*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      window,
+		Controller: rl,
+		Initial:    svc.MaxAllocation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Relearns() == 0 {
+		t.Fatal("relearner never re-clustered")
+	}
+	// After re-learning, the controller must be scaling again rather
+	// than pinning full capacity: the second day's mean allocation
+	// must be clearly below the maximum.
+	day2 := res.Records[24*60:]
+	sum := 0.0
+	for _, rec := range day2 {
+		sum += float64(rec.Allocation.Count)
+	}
+	mean := sum / float64(len(day2))
+	if mean > 9 {
+		t.Errorf("post-relearn mean allocation=%v; still stuck at full capacity", mean)
+	}
+	// And it must be cheaper than an equivalent full-capacity run.
+	if res.CostSavingsVs(sim.FixedMaxCost(svc, window)) < 0.1 {
+		t.Errorf("savings=%v want >= 0.1 after recovery", res.CostSavingsVs(sim.FixedMaxCost(svc, window)))
+	}
+	// SLO intact throughout (full capacity covered the stale phase).
+	if res.SLOViolationFraction > 0.1 {
+		t.Errorf("violations=%v want <= 0.1", res.SLOViolationFraction)
+	}
+}
+
+func TestRelearnerValidation(t *testing.T) {
+	ctl, template, _, _ := driftScenario(t, 63)
+	if _, err := NewRelearner(nil, template); err == nil {
+		t.Error("nil controller should error")
+	}
+	if _, err := NewRelearner(ctl, LearnConfig{}); err == nil {
+		t.Error("empty template should error")
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+)
+
+// InterferenceBucketWidth discretizes the estimated co-located
+// contention *fraction* into repository buckets: bucket 0 is no
+// interference, each further bucket covers 5% of stolen capacity.
+// Bucketing the fraction rather than the raw performance index
+// matters: the index shrinks once a compensating allocation deploys,
+// while the underlying contention fraction is a property of the
+// environment and stays put — so fraction-keyed entries remain valid
+// across allocation changes.
+const InterferenceBucketWidth = 0.05
+
+// maxInterferenceBucket caps the bucket range (0.9 stolen capacity).
+const maxInterferenceBucket = 18
+
+// BucketForFraction maps an estimated contention fraction in [0, 1)
+// to a repository bucket.
+func BucketForFraction(fraction float64) int {
+	if fraction <= 0 {
+		return 0
+	}
+	b := int(math.Ceil(fraction / InterferenceBucketWidth))
+	if b > maxInterferenceBucket {
+		b = maxInterferenceBucket
+	}
+	return b
+}
+
+// Repository is the DejaVu cache: workload signatures along with their
+// preferred resource allocations, keyed by workload class and
+// interference bucket (paper §3.4, §3.6). Lookups classify the
+// incoming signature and report a certainty level; low certainty means
+// the workload "has changed over time and the current clustering is no
+// longer relevant".
+type Repository struct {
+	mu sync.RWMutex
+
+	// events is the signature metric tuple (ordered).
+	events []metrics.Event
+	// standardizer maps raw signatures into the learned feature
+	// space.
+	standardizer *ml.Standardizer
+	// classifier assigns signatures to workload classes.
+	classifier ml.Classifier
+	// centroids are the class centroids in standardized space.
+	centroids [][]float64
+	// noveltyRadius is the per-class maximum training distance to
+	// the centroid, inflated by a tolerance; signatures farther from
+	// every centroid are unforeseen workloads.
+	noveltyRadius []float64
+	// entries maps (class, interference bucket) to the preferred
+	// allocation.
+	entries map[repoKey]cloud.Allocation
+	// certaintyThreshold is the minimum classifier confidence for a
+	// cache hit.
+	certaintyThreshold float64
+	// stats
+	hits, misses int
+}
+
+type repoKey struct {
+	class  int
+	bucket int
+}
+
+// LookupResult is the outcome of a repository lookup.
+type LookupResult struct {
+	// Class is the matched workload class (-1 on novelty rejection).
+	Class int
+	// Certainty is the classifier confidence in [0, 1].
+	Certainty float64
+	// Allocation is the cached preferred allocation; valid only when
+	// Hit is true.
+	Allocation cloud.Allocation
+	// Hit reports whether a usable cached allocation was found.
+	Hit bool
+	// Unforeseen reports whether the signature looks unlike every
+	// learned class (novelty or low certainty).
+	Unforeseen bool
+}
+
+// NewRepository assembles a repository from learned artifacts. The
+// certainty threshold defaults to 0.6 when zero.
+func NewRepository(events []metrics.Event, std *ml.Standardizer, clf ml.Classifier,
+	centroids [][]float64, noveltyRadius []float64, certaintyThreshold float64) (*Repository, error) {
+	if len(events) == 0 {
+		return nil, errors.New("core: repository needs signature events")
+	}
+	if std == nil || clf == nil {
+		return nil, errors.New("core: repository needs standardizer and classifier")
+	}
+	if len(centroids) == 0 || len(centroids) != len(noveltyRadius) {
+		return nil, fmt.Errorf("core: %d centroids but %d novelty radii", len(centroids), len(noveltyRadius))
+	}
+	if certaintyThreshold == 0 {
+		certaintyThreshold = 0.6
+	}
+	return &Repository{
+		events:             append([]metrics.Event(nil), events...),
+		standardizer:       std,
+		classifier:         clf,
+		centroids:          centroids,
+		noveltyRadius:      append([]float64(nil), noveltyRadius...),
+		entries:            make(map[repoKey]cloud.Allocation),
+		certaintyThreshold: certaintyThreshold,
+	}, nil
+}
+
+// Events returns the signature metric tuple.
+func (r *Repository) Events() []metrics.Event {
+	return append([]metrics.Event(nil), r.events...)
+}
+
+// Classes returns the number of workload classes.
+func (r *Repository) Classes() int { return len(r.centroids) }
+
+// Put stores the preferred allocation for a (class, interference
+// bucket) pair; the Tuner populates bucket 0 during learning and the
+// runtime controller adds interference buckets on demand.
+func (r *Repository) Put(class, bucket int, alloc cloud.Allocation) error {
+	if class < 0 || class >= len(r.centroids) {
+		return fmt.Errorf("core: class %d out of range", class)
+	}
+	if bucket < 0 {
+		return fmt.Errorf("core: negative interference bucket %d", bucket)
+	}
+	if err := alloc.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[repoKey{class, bucket}] = alloc
+	return nil
+}
+
+// Get returns the cached allocation for (class, bucket) without
+// classification.
+func (r *Repository) Get(class, bucket int) (cloud.Allocation, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.entries[repoKey{class, bucket}]
+	return a, ok
+}
+
+// Classify standardizes the signature and runs the classifier plus the
+// novelty check, without touching the allocation entries.
+func (r *Repository) Classify(sig *Signature) (class int, certainty float64, unforeseen bool, err error) {
+	if err := sig.Validate(); err != nil {
+		return 0, 0, false, err
+	}
+	if len(sig.Values) != len(r.events) {
+		return 0, 0, false, fmt.Errorf("core: signature width %d, repository expects %d", len(sig.Values), len(r.events))
+	}
+	row := r.standardizer.Transform(sig.Values)
+	class, certainty = r.classifier.PredictProba(row)
+
+	// Novelty: distance to the nearest centroid must be within the
+	// learned radius. This catches workloads like the HotMail day-4
+	// surge whose volume exceeds everything seen during learning.
+	minDist, nearest := math.Inf(1), -1
+	for c, centroid := range r.centroids {
+		if d := ml.EuclideanDistance(row, centroid); d < minDist {
+			minDist, nearest = d, c
+		}
+	}
+	if nearest >= 0 && minDist > r.noveltyRadius[nearest] {
+		return class, certainty, true, nil
+	}
+	if certainty < r.certaintyThreshold {
+		return class, certainty, true, nil
+	}
+	return class, certainty, false, nil
+}
+
+// Lookup is the cache lookup: classify the signature and fetch the
+// allocation for the given interference bucket. A miss on the exact
+// bucket with a hit on bucket 0 reports Hit=false but still returns
+// the class, letting the controller tune for the new interference
+// level and Put the result.
+func (r *Repository) Lookup(sig *Signature, bucket int) (LookupResult, error) {
+	class, certainty, unforeseen, err := r.Classify(sig)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	res := LookupResult{Class: class, Certainty: certainty, Unforeseen: unforeseen}
+	if unforeseen {
+		res.Class = -1
+		r.countMiss()
+		return res, nil
+	}
+	if alloc, ok := r.Get(class, bucket); ok {
+		res.Allocation = alloc
+		res.Hit = true
+		r.countHit()
+		return res, nil
+	}
+	r.countMiss()
+	return res, nil
+}
+
+func (r *Repository) countHit() {
+	r.mu.Lock()
+	r.hits++
+	r.mu.Unlock()
+}
+
+func (r *Repository) countMiss() {
+	r.mu.Lock()
+	r.misses++
+	r.mu.Unlock()
+}
+
+// HitRate returns the fraction of lookups that were cache hits.
+func (r *Repository) HitRate() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := r.hits + r.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.hits) / float64(total)
+}
+
+// Entries returns a stable snapshot of the cached allocations, sorted
+// by class then bucket, for reports.
+type Entry struct {
+	Class      int
+	Bucket     int
+	Allocation cloud.Allocation
+}
+
+// Snapshot returns all entries sorted by (class, bucket).
+func (r *Repository) Snapshot() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Entry, 0, len(r.entries))
+	for k, v := range r.entries {
+		out = append(out, Entry{Class: k.class, Bucket: k.bucket, Allocation: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Bucket < out[j].Bucket
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scale-up (vertical) controller integration: SPECweb served by a
+// fixed count of instances whose type DejaVu switches between large
+// and extra-large, mirroring §4.2.
+
+func buildScaleUpDejaVu(t *testing.T, seed int64) (*Controller, *Repository, *services.SPECWeb, *trace.Trace) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	svc := services.NewSPECWeb()
+	tr := trace.HotMail(trace.SynthConfig{Rng: rng}).ScaleTo(350)
+	day0, err := tr.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := NewProfiler(svc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewScaleUpTuner(svc, svc.Instances, []cloud.InstanceType{cloud.Large, cloud.XLarge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, _, err := Learn(LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: WorkloadsFromTrace(day0, svc.DefaultMix()),
+		Rng:       rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(ControllerConfig{
+		Repository: repo,
+		Profiler:   prof,
+		Tuner:      tuner,
+		Service:    svc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, repo, svc, tr
+}
+
+func TestScaleUpControllerSwitchesTypes(t *testing.T) {
+	ctl, repo, svc, tr := buildScaleUpDejaVu(t, 31)
+	day1, err := tr.Day(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      day1,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count must never change (vertical scaling only).
+	sawLarge, sawXLarge := false, false
+	for _, rec := range res.Records {
+		if rec.Allocation.Count != svc.Instances {
+			t.Fatalf("instance count changed to %d", rec.Allocation.Count)
+		}
+		switch rec.Allocation.Type.Name {
+		case cloud.Large.Name:
+			sawLarge = true
+		case cloud.XLarge.Name:
+			sawXLarge = true
+		}
+	}
+	if !sawLarge {
+		t.Error("off-peak hours should run on large")
+	}
+	if !sawXLarge {
+		t.Error("the midday peak should run on xlarge")
+	}
+	// QoS mostly intact.
+	if res.SLOViolationFraction > 0.1 {
+		t.Errorf("QoS violations=%v want <= 0.1", res.SLOViolationFraction)
+	}
+	// And cheaper than always-XL.
+	if res.CostSavingsVs(sim.FixedMaxCost(svc, day1)) <= 0 {
+		t.Error("scale-up should save money vs always-xlarge")
+	}
+	if repo.HitRate() == 0 {
+		t.Error("runtime should hit the repository")
+	}
+}

@@ -1,0 +1,156 @@
+// Package core implements DejaVu itself: workload signatures, the
+// profiler, the learning phase (feature selection, clustering, tuning),
+// the signature repository (the "DejaVu cache"), the interference
+// index, and the runtime controller that reuses cached resource
+// allocations to adapt to workload changes in seconds instead of
+// minutes (paper §3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/services"
+)
+
+// Signature is a workload signature: the ordered N-tuple of normalized
+// metric values WS = {m1, m2, ..., mN} from paper Eq. 1.
+type Signature struct {
+	// Events names the metrics, in order.
+	Events []metrics.Event
+	// Values holds the per-second normalized readings, aligned with
+	// Events.
+	Values []float64
+}
+
+// Validate checks structural consistency.
+func (s *Signature) Validate() error {
+	if len(s.Events) == 0 {
+		return errors.New("core: empty signature")
+	}
+	if len(s.Events) != len(s.Values) {
+		return fmt.Errorf("core: signature has %d events but %d values", len(s.Events), len(s.Values))
+	}
+	return nil
+}
+
+// Profiler is DejaVu's profiling environment: a dedicated machine
+// hosting cloned VM instances that serve duplicated requests while
+// low-level metrics are collected without disturbing production
+// (paper §3.2.2). In this reproduction the clone is a
+// services.ProfileSource and the measurement path a metrics.Monitor.
+type Profiler struct {
+	// Service is the profiled service (the clone's behaviour model).
+	Service services.Service
+	// RefInstances fixes the per-instance load the clone sees. The
+	// proxy duplicates the traffic of one production instance; to
+	// keep signatures comparable across allocation changes, DejaVu
+	// samples a fixed 1/RefInstances share of total traffic.
+	RefInstances int
+	// Window is the signature collection time (paper: ~10 s).
+	Window time.Duration
+	// Monitor reads the counters when the full catalog is profiled
+	// (the learning phase).
+	Monitor *metrics.Monitor
+
+	// rng seeds per-query monitors.
+	rng *rand.Rand
+}
+
+// DefaultSignatureWindow is the paper's ~10 s signature collection
+// time ("DejaVu's reaction time is about 10 seconds in the case of a
+// cache hit").
+const DefaultSignatureWindow = 10 * time.Second
+
+// NewProfiler builds a profiler monitoring the full event catalog (the
+// learning phase collects "all HPC and xentop-reported metric values").
+func NewProfiler(svc services.Service, rng *rand.Rand) (*Profiler, error) {
+	if svc == nil {
+		return nil, errors.New("core: nil service")
+	}
+	mon, err := metrics.NewMonitor(metrics.AllEvents(), rng)
+	if err != nil {
+		return nil, err
+	}
+	refInstances := svc.MaxAllocation().Count
+	if refInstances <= 0 {
+		refInstances = 1
+	}
+	return &Profiler{
+		Service:      svc,
+		RefInstances: refInstances,
+		Window:       DefaultSignatureWindow,
+		Monitor:      mon,
+		rng:          rng,
+	}, nil
+}
+
+// Profile collects one signature over the profiler's runtime window
+// (~10 s) for the given workload, reading the given events (defaults
+// to the monitor's full set when events is nil).
+func (p *Profiler) Profile(w services.Workload, events []metrics.Event) (*Signature, error) {
+	return p.ProfileWindow(w, events, p.Window)
+}
+
+// ProfileWindow is Profile with an explicit sampling window. The
+// learning phase uses long windows (minutes per workload): monitoring
+// the full 60-event catalog through 4 registers requires heavy
+// time-division multiplexing, whose accuracy penalty only averages
+// out over a long sample. The runtime fast path samples just the
+// selected signature events, which fit the registers, so 10 s
+// suffices there.
+func (p *Profiler) ProfileWindow(w services.Workload, events []metrics.Event, window time.Duration) (*Signature, error) {
+	src := services.ProfileSource{Service: p.Service, Workload: w, Instances: p.RefInstances}
+	// Program the registers with exactly the requested events: a
+	// short runtime sample of a handful of signature events fits the
+	// registers and stays clean, while sampling the whole catalog
+	// would multiplex and blur it.
+	mon := p.Monitor
+	evs := events
+	if evs == nil {
+		evs = p.Monitor.Events
+	} else {
+		var err error
+		if mon, err = metrics.NewMonitor(evs, p.rng); err != nil {
+			return nil, err
+		}
+		mon.Bank = p.Monitor.Bank
+		mon.BaseNoise = p.Monitor.BaseNoise
+	}
+	sample, err := mon.Sample(src, window)
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{
+		Events: append([]metrics.Event(nil), evs...),
+		Values: sample.Vector(evs),
+	}, nil
+}
+
+// ProfileN collects n signatures over the given window (the paper
+// runs "5 trials for each volume" when validating signatures).
+func (p *Profiler) ProfileN(w services.Workload, events []metrics.Event, n int, window time.Duration) ([]*Signature, error) {
+	if n <= 0 {
+		return nil, errors.New("core: n must be positive")
+	}
+	out := make([]*Signature, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := p.ProfileWindow(w, events, window)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// IsolationPerf returns the performance the profiling environment
+// measures for workload w under the given capacity — free of
+// co-located tenant interference by construction. The interference
+// index contrasts production performance with this value (paper Eq. 2).
+func (p *Profiler) IsolationPerf(w services.Workload, capacity float64) services.Perf {
+	return p.Service.Perf(w, capacity)
+}

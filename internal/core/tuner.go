@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/services"
+)
+
+// Tuner determines the "sufficient, but not wasteful" resource
+// allocation for a workload (paper §3.4). The choice of tuning
+// mechanism is orthogonal to DejaVu; like the paper's evaluation, this
+// repository ships a linear-search tuner that replays the workload
+// against increasing allocations and keeps the first one meeting the
+// SLO.
+type Tuner interface {
+	// Tune returns the preferred allocation for the workload under
+	// the given co-located interference fraction (0 = isolation).
+	Tune(w services.Workload, interference float64) (cloud.Allocation, error)
+	// Duration reports how long one tuning invocation takes — the
+	// cost DejaVu's cache amortizes away.
+	Duration() time.Duration
+}
+
+// LinearSearchTuner is the paper's evaluation tuner: "we replay a
+// sequence of runs of the workload, each time with an increasing
+// amount of virtual resources. We then choose the minimal set of
+// resources that fulfill the target SLO."
+type LinearSearchTuner struct {
+	// Service provides the sandboxed experiment environment.
+	Service services.Service
+	// Candidates is the allocation search space in ascending
+	// capacity order (e.g. 2..10 large instances for scale-out, or
+	// {5 x large, 5 x xlarge} for scale-up).
+	Candidates []cloud.Allocation
+	// Margin tightens the SLO during tuning so the deployed
+	// allocation has headroom for transients (default 0.9: target
+	// 90% of the latency budget).
+	Margin float64
+	// TrialDuration is the sandboxed experiment length per
+	// candidate; the paper cites roughly minutes per experiment for
+	// state-of-the-art experimental tuning (default 3 minutes).
+	TrialDuration time.Duration
+
+	// trials counts the experiments run by the last Tune call.
+	trials int
+}
+
+// NewScaleOutTuner builds a linear-search tuner over instance counts
+// min..max of the given type (the Cassandra scale-out case study).
+func NewScaleOutTuner(svc services.Service, typ cloud.InstanceType, min, max int) (*LinearSearchTuner, error) {
+	if min <= 0 || max < min {
+		return nil, fmt.Errorf("core: bad scale-out range [%d, %d]", min, max)
+	}
+	var cands []cloud.Allocation
+	for n := min; n <= max; n++ {
+		cands = append(cands, cloud.Allocation{Type: typ, Count: n})
+	}
+	return newLinearTuner(svc, cands)
+}
+
+// NewScaleUpTuner builds a linear-search tuner over instance types for
+// a fixed count (the SPECweb scale-up case study: 5 large vs 5
+// extra-large).
+func NewScaleUpTuner(svc services.Service, count int, types []cloud.InstanceType) (*LinearSearchTuner, error) {
+	if count <= 0 || len(types) == 0 {
+		return nil, errors.New("core: scale-up tuner needs a count and types")
+	}
+	var cands []cloud.Allocation
+	for _, t := range types {
+		cands = append(cands, cloud.Allocation{Type: t, Count: count})
+	}
+	return newLinearTuner(svc, cands)
+}
+
+func newLinearTuner(svc services.Service, cands []cloud.Allocation) (*LinearSearchTuner, error) {
+	if svc == nil {
+		return nil, errors.New("core: nil service")
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Capacity() < cands[i-1].Capacity() {
+			return nil, errors.New("core: candidates must be in ascending capacity order")
+		}
+	}
+	return &LinearSearchTuner{
+		Service:       svc,
+		Candidates:    cands,
+		Margin:        0.9,
+		TrialDuration: 3 * time.Minute,
+	}, nil
+}
+
+// tightened returns the SLO with the tuning safety margin applied.
+func tightened(slo services.SLO, margin float64) services.SLO {
+	out := slo
+	if out.MaxLatencyMs > 0 {
+		out.MaxLatencyMs *= margin
+	}
+	if out.MinQoSPercent > 0 {
+		// Require proportionally more of the remaining headroom:
+		// 95% floor with margin 0.9 becomes 95.5%.
+		out.MinQoSPercent += (100 - out.MinQoSPercent) * (1 - margin)
+	}
+	return out
+}
+
+// Tune implements Tuner.
+func (t *LinearSearchTuner) Tune(w services.Workload, interference float64) (cloud.Allocation, error) {
+	if len(t.Candidates) == 0 {
+		return cloud.Allocation{}, errors.New("core: tuner has no candidates")
+	}
+	if interference < 0 || interference >= 1 {
+		return cloud.Allocation{}, fmt.Errorf("core: interference %v out of [0,1)", interference)
+	}
+	margin := t.Margin
+	if margin <= 0 || margin > 1 {
+		margin = 0.9
+	}
+	slo := tightened(t.Service.SLO(), margin)
+	t.trials = 0
+	for _, cand := range t.Candidates {
+		t.trials++
+		capacity := cand.Capacity() * (1 - interference)
+		perf := t.Service.Perf(w, capacity)
+		if slo.Met(perf) {
+			return cand, nil
+		}
+	}
+	// Nothing meets the SLO: return the largest candidate, mirroring
+	// the paper's full-capacity fallback.
+	t.trials = len(t.Candidates)
+	return t.Candidates[len(t.Candidates)-1], nil
+}
+
+// Duration implements Tuner: trials x trial duration for the most
+// recent Tune call (a full sweep when none has run yet).
+func (t *LinearSearchTuner) Duration() time.Duration {
+	trials := t.trials
+	if trials == 0 {
+		trials = len(t.Candidates)
+	}
+	return time.Duration(trials) * t.TrialDuration
+}
+
+var _ Tuner = (*LinearSearchTuner)(nil)

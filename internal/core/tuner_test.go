@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/services"
+)
+
+func TestScaleOutTunerFindsMinimal(t *testing.T) {
+	svc := services.NewCassandra()
+	tuner, err := NewScaleOutTuner(svc, cloud.Large, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 clients: SLO (60 ms, margin 0.9 -> 54 ms) needs
+	// rho <= 1-15/54 = 0.722; capacity >= 300/(0.722*67) = 6.2 -> 7.
+	w := services.Workload{Clients: 300, Mix: svc.DefaultMix()}
+	alloc, err := tuner.Tune(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.SLO().Met(svc.Perf(w, alloc.Capacity())) {
+		t.Errorf("tuned allocation %v misses SLO", alloc)
+	}
+	// Minimality: one instance less must violate the margin SLO.
+	smaller := cloud.Allocation{Type: cloud.Large, Count: alloc.Count - 1}
+	if smaller.Count >= 2 {
+		slo := tightened(svc.SLO(), tuner.Margin)
+		if slo.Met(svc.Perf(w, smaller.Capacity())) {
+			t.Errorf("allocation %v not minimal: %v also fits", alloc, smaller)
+		}
+	}
+}
+
+func TestScaleOutTunerMonotoneInLoad(t *testing.T) {
+	svc := services.NewCassandra()
+	tuner, _ := NewScaleOutTuner(svc, cloud.Large, 2, 10)
+	prev := 0
+	for clients := 50.0; clients <= 500; clients += 50 {
+		alloc, err := tuner.Tune(services.Workload{Clients: clients, Mix: svc.DefaultMix()}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Count < prev {
+			t.Errorf("allocation shrank with load at %v clients", clients)
+		}
+		prev = alloc.Count
+	}
+}
+
+func TestTunerInterferenceNeedsMore(t *testing.T) {
+	svc := services.NewCassandra()
+	tuner, _ := NewScaleOutTuner(svc, cloud.Large, 2, 10)
+	w := services.Workload{Clients: 300, Mix: svc.DefaultMix()}
+	clean, err := tuner.Tune(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := tuner.Tune(w, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Count <= clean.Count {
+		t.Errorf("20%% interference should need more instances: %v vs %v", dirty, clean)
+	}
+}
+
+func TestTunerUnmeetableReturnsMax(t *testing.T) {
+	svc := services.NewCassandra()
+	tuner, _ := NewScaleOutTuner(svc, cloud.Large, 2, 10)
+	alloc, err := tuner.Tune(services.Workload{Clients: 1e6, Mix: svc.DefaultMix()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Count != 10 {
+		t.Errorf("unmeetable workload should return max, got %v", alloc)
+	}
+}
+
+func TestTunerInvalidInterference(t *testing.T) {
+	svc := services.NewCassandra()
+	tuner, _ := NewScaleOutTuner(svc, cloud.Large, 2, 10)
+	w := services.Workload{Clients: 100, Mix: svc.DefaultMix()}
+	if _, err := tuner.Tune(w, -0.1); err == nil {
+		t.Error("negative interference should error")
+	}
+	if _, err := tuner.Tune(w, 1.0); err == nil {
+		t.Error("interference 1.0 should error")
+	}
+}
+
+func TestScaleUpTuner(t *testing.T) {
+	svc := services.NewSPECWeb()
+	tuner, err := NewScaleUpTuner(svc, 5, []cloud.InstanceType{cloud.Large, cloud.XLarge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := services.Workload{Clients: 100, Mix: svc.DefaultMix()}
+	alloc, err := tuner.Tune(low, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Type.Name != "large" {
+		t.Errorf("low load should fit on large: %v", alloc)
+	}
+	high := services.Workload{Clients: 450, Mix: svc.DefaultMix()}
+	alloc, err = tuner.Tune(high, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Type.Name != "xlarge" {
+		t.Errorf("high load should need xlarge: %v", alloc)
+	}
+}
+
+func TestTunerDuration(t *testing.T) {
+	svc := services.NewCassandra()
+	tuner, _ := NewScaleOutTuner(svc, cloud.Large, 2, 10)
+	// Before any Tune: full sweep estimate.
+	if got := tuner.Duration(); got != 9*3*time.Minute {
+		t.Errorf("initial Duration=%v want 27m", got)
+	}
+	// Light workload stops the search early; duration shrinks.
+	if _, err := tuner.Tune(services.Workload{Clients: 50, Mix: svc.DefaultMix()}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tuner.Duration(); got != 3*time.Minute {
+		t.Errorf("after trivial tune Duration=%v want 3m (one trial)", got)
+	}
+}
+
+func TestTunerConstructorsValidate(t *testing.T) {
+	svc := services.NewCassandra()
+	if _, err := NewScaleOutTuner(svc, cloud.Large, 0, 5); err == nil {
+		t.Error("min=0 should error")
+	}
+	if _, err := NewScaleOutTuner(svc, cloud.Large, 5, 2); err == nil {
+		t.Error("max<min should error")
+	}
+	if _, err := NewScaleOutTuner(nil, cloud.Large, 2, 5); err == nil {
+		t.Error("nil service should error")
+	}
+	if _, err := NewScaleUpTuner(svc, 0, []cloud.InstanceType{cloud.Large}); err == nil {
+		t.Error("count=0 should error")
+	}
+	if _, err := NewScaleUpTuner(svc, 5, nil); err == nil {
+		t.Error("no types should error")
+	}
+	// Descending candidates rejected.
+	if _, err := NewScaleUpTuner(svc, 5, []cloud.InstanceType{cloud.XLarge, cloud.Large}); err == nil {
+		t.Error("descending candidates should error")
+	}
+}
+
+func TestTightenedSLO(t *testing.T) {
+	lat := tightened(services.SLO{MaxLatencyMs: 100}, 0.9)
+	if lat.MaxLatencyMs != 90 {
+		t.Errorf("tightened latency=%v want 90", lat.MaxLatencyMs)
+	}
+	qos := tightened(services.SLO{MinQoSPercent: 95}, 0.9)
+	if qos.MinQoSPercent <= 95 || qos.MinQoSPercent >= 100 {
+		t.Errorf("tightened QoS=%v want in (95, 100)", qos.MinQoSPercent)
+	}
+}
+
+func TestTunerEmptyCandidates(t *testing.T) {
+	tuner := &LinearSearchTuner{Service: services.NewCassandra()}
+	if _, err := tuner.Tune(services.Workload{Clients: 1}, 0); err == nil {
+		t.Error("no candidates should error")
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	r, err := Ablations(Options{Seed: 42, Days: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Auto-k: four rows, auto first; auto should land in 3..6 and
+	// match or beat the worst pinned choice's accuracy.
+	if len(r.AutoK) != 4 {
+		t.Fatalf("autok rows=%d want 4", len(r.AutoK))
+	}
+	auto := r.AutoK[0]
+	if auto.Mode != "auto" {
+		t.Fatalf("first row mode=%q", auto.Mode)
+	}
+	if auto.Classes < 3 || auto.Classes > 6 {
+		t.Errorf("auto classes=%d want 3..6", auto.Classes)
+	}
+	for _, row := range r.AutoK {
+		if row.Mode != "auto" && row.Classes == 0 {
+			t.Errorf("%s produced no classes", row.Mode)
+		}
+		// Tuning time scales with class count.
+		if row.TuningTime <= 0 {
+			t.Errorf("%s: no tuning time recorded", row.Mode)
+		}
+	}
+	// k=2 under-clusters: its tuning is cheaper but it must not beat
+	// auto on accuracy by a wide margin (classes are coarser).
+	if r.AutoK[1].Mode != "k=2" {
+		t.Fatalf("second row=%q want k=2", r.AutoK[1].Mode)
+	}
+	if r.AutoK[1].TuningTime >= r.AutoK[3].TuningTime {
+		t.Errorf("k=2 tuning (%v) should be cheaper than k=6 (%v)",
+			r.AutoK[1].TuningTime, r.AutoK[3].TuningTime)
+	}
+
+	// Classifier: both accurate (paper: "both ... work well").
+	if len(r.Classifier) != 2 {
+		t.Fatalf("classifier rows=%d want 2", len(r.Classifier))
+	}
+	for _, row := range r.Classifier {
+		if row.Accuracy < 0.85 {
+			t.Errorf("%s accuracy=%v want >= 0.85", row.Kind, row.Accuracy)
+		}
+	}
+
+	// Novelty: tiny radius -> many spurious fallbacks; default
+	// radius catches the surge with few fallbacks; huge radius
+	// misses the surge.
+	if len(r.Novelty) != 3 {
+		t.Fatalf("novelty rows=%d want 3", len(r.Novelty))
+	}
+	tiny, def, huge := r.Novelty[0], r.Novelty[1], r.Novelty[2]
+	if tiny.Unforeseen <= def.Unforeseen {
+		t.Errorf("tiny radius unforeseen=%d should exceed default=%d",
+			tiny.Unforeseen, def.Unforeseen)
+	}
+	if !def.SurgeCaught {
+		t.Error("default radius must catch the day-4 surge")
+	}
+	if huge.SurgeCaught {
+		t.Error("huge radius should miss the surge (classified into a learned class)")
+	}
+	if huge.ViolationFr <= def.ViolationFr {
+		t.Errorf("huge radius violations=%v should exceed default=%v",
+			huge.ViolationFr, def.ViolationFr)
+	}
+	if tiny.CostSavings >= def.CostSavings {
+		t.Errorf("tiny radius savings=%v should trail default=%v (full-capacity fallbacks)",
+			tiny.CostSavings, def.CostSavings)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Error("render missing header")
+	}
+}

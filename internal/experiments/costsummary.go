@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cloud"
+)
+
+// CostSummaryResult reproduces §4.5's headline numbers: provisioning
+// cost savings of 35-60% vs the fixed maximum allocation, higher for
+// scale-out than scale-up because of the finer allocation granularity,
+// and the dollar extrapolation ("more than $250,000 and $2.5 Million
+// per year for 100 and 1,000 instances").
+type CostSummaryResult struct {
+	ScaleOutMessenger float64
+	ScaleOutHotmail   float64
+	ScaleUpMessenger  float64
+	ScaleUpHotmail    float64
+
+	// Annual savings in USD for fleets of 100 and 1000 large
+	// instances, using the mean scale-out savings and the paper's
+	// July 2011 price of $0.34/h.
+	AnnualSavings100  float64
+	AnnualSavings1000 float64
+}
+
+// CostSummary runs all four case studies and aggregates.
+func CostSummary(opts Options) (*CostSummaryResult, error) {
+	f6, err := Figure6(opts)
+	if err != nil {
+		return nil, err
+	}
+	f7, err := Figure7(opts)
+	if err != nil {
+		return nil, err
+	}
+	f9, err := Figure9(opts)
+	if err != nil {
+		return nil, err
+	}
+	f10, err := Figure10(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &CostSummaryResult{
+		ScaleOutMessenger: f6.DejaVuSavings,
+		ScaleOutHotmail:   f7.DejaVuSavings,
+		ScaleUpMessenger:  f10.Savings,
+		ScaleUpHotmail:    f9.Savings,
+	}
+	meanScaleOut := (out.ScaleOutMessenger + out.ScaleOutHotmail) / 2
+	hourly100 := 100 * cloud.Large.PricePerHour
+	out.AnnualSavings100 = meanScaleOut * hourly100 * 24 * 365
+	out.AnnualSavings1000 = out.AnnualSavings100 * 10
+	return out, nil
+}
+
+// Render writes the summary as text.
+func (r *CostSummaryResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "=== Section 4.5: provisioning cost savings vs fixed maximum allocation ===")
+	fmt.Fprintf(w, "scale-out (Cassandra): messenger %.0f%%, hotmail %.0f%%  (paper band: 55-60%%)\n",
+		100*r.ScaleOutMessenger, 100*r.ScaleOutHotmail)
+	fmt.Fprintf(w, "scale-up  (SPECweb):   messenger %.0f%%, hotmail %.0f%%  (paper band: 35-45%%)\n",
+		100*r.ScaleUpMessenger, 100*r.ScaleUpHotmail)
+	fmt.Fprintf(w, "scale-out > scale-up (finer allocation granularity): %v\n",
+		(r.ScaleOutMessenger+r.ScaleOutHotmail)/2 > (r.ScaleUpMessenger+r.ScaleUpHotmail)/2)
+	fmt.Fprintf(w, "annual savings at $%.2f/h per large instance: $%.0f (100 instances), $%.0f (1000 instances)\n",
+		cloud.Large.PricePerHour, r.AnnualSavings100, r.AnnualSavings1000)
+	fmt.Fprintln(w, "(paper: more than $250,000 and $2.5M per year, respectively)")
+}

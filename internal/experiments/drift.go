@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DriftResult is the §3.5 staleness loop quantified: the service's
+// volume grows 60% beyond anything the learning day saw, the
+// repository keeps reporting unforeseen workloads, and the Relearner
+// re-runs clustering and tuning over the recently observed workloads.
+// Without re-learning DejaVu parks at the full-capacity fallback
+// (safe but expensive); with it, normal cache-hit operation resumes.
+type DriftResult struct {
+	// With/Without the re-learning loop.
+	WithRelearns        int
+	WithSavings         float64
+	WithViolationFr     float64
+	WithMeanInstances   float64
+	WithoutSavings      float64
+	WithoutViolationFr  float64
+	WithoutMeanInstance float64
+	// Day-2 numbers isolate the post-recovery regime: the relearned
+	// controller should be violation-free and scaled, while the
+	// stale one keeps misbehaving (misclassified levels violate; or
+	// unforeseen levels pin full capacity).
+	Day2ViolationFrWith    float64
+	Day2ViolationFrWithout float64
+	Day2MeanInstancesWith  float64
+}
+
+// Drift runs the experiment: learn at 300-client peak, replay two days
+// at 480.
+func Drift(opts Options) (*DriftResult, error) {
+	build := func(seed int64) (*core.Controller, core.LearnConfig, *services.Cassandra, *trace.Trace, error) {
+		rng := rand.New(rand.NewSource(seed))
+		svc := services.NewCassandra()
+		small := trace.Messenger(trace.SynthConfig{Rng: rng}).ScaleTo(300)
+		day0, err := small.Day(0)
+		if err != nil {
+			return nil, core.LearnConfig{}, nil, nil, err
+		}
+		prof, err := core.NewProfiler(svc, rng)
+		if err != nil {
+			return nil, core.LearnConfig{}, nil, nil, err
+		}
+		tuner, err := core.NewScaleOutTuner(svc, cloud.Large, svc.MinInstances, svc.MaxInstances)
+		if err != nil {
+			return nil, core.LearnConfig{}, nil, nil, err
+		}
+		template := core.LearnConfig{Profiler: prof, Tuner: tuner, Rng: rng}
+		learnCfg := template
+		learnCfg.Workloads = core.WorkloadsFromTrace(day0, svc.DefaultMix())
+		repo, _, err := core.Learn(learnCfg)
+		if err != nil {
+			return nil, core.LearnConfig{}, nil, nil, err
+		}
+		ctl, err := core.NewController(core.ControllerConfig{
+			Repository: repo,
+			Profiler:   prof,
+			Tuner:      tuner,
+			Service:    svc,
+		})
+		if err != nil {
+			return nil, core.LearnConfig{}, nil, nil, err
+		}
+		drifted := trace.Messenger(trace.SynthConfig{
+			Rng: rand.New(rand.NewSource(seed + 1)),
+		}).ScaleTo(480)
+		return ctl, template, svc, drifted, nil
+	}
+
+	out := &DriftResult{}
+	for _, withRelearn := range []bool{true, false} {
+		ctl, template, svc, drifted, err := build(opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var controller sim.Controller = ctl
+		var rl *core.Relearner
+		if withRelearn {
+			rl, err = core.NewRelearner(ctl, template)
+			if err != nil {
+				return nil, err
+			}
+			controller = rl
+		}
+		window, err := drifted.Slice(24, 3*24)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{
+			Service:    svc,
+			Trace:      window,
+			Controller: controller,
+			Initial:    svc.MaxAllocation(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		savings := res.CostSavingsVs(sim.FixedMaxCost(svc, window))
+		day2 := res.Records[24*60:]
+		sum, bad := 0.0, 0
+		for _, rec := range day2 {
+			sum += float64(rec.Allocation.Count)
+			if rec.SLOViolated {
+				bad++
+			}
+		}
+		day2Viol := float64(bad) / float64(len(day2))
+		if withRelearn {
+			out.WithRelearns = rl.Relearns()
+			out.WithSavings = savings
+			out.WithViolationFr = res.SLOViolationFraction
+			out.WithMeanInstances = res.MeanAllocatedInstances()
+			out.Day2ViolationFrWith = day2Viol
+			out.Day2MeanInstancesWith = sum / float64(len(day2))
+		} else {
+			out.WithoutSavings = savings
+			out.WithoutViolationFr = res.SLOViolationFraction
+			out.WithoutMeanInstance = res.MeanAllocatedInstances()
+			out.Day2ViolationFrWithout = day2Viol
+		}
+	}
+	return out, nil
+}
+
+// Render writes the experiment as text.
+func (r *DriftResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "=== Extension: workload drift and re-clustering (paper §3.5) ===")
+	fmt.Fprintln(w, "learned at 300-client peak; replayed two days at 480 (unforeseen levels)")
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "", "with relearn", "without")
+	fmt.Fprintf(w, "%-28s %12d %12s\n", "re-clustering rounds", r.WithRelearns, "-")
+	fmt.Fprintf(w, "%-28s %11.0f%% %11.0f%%\n", "savings vs fixed max", 100*r.WithSavings, 100*r.WithoutSavings)
+	fmt.Fprintf(w, "%-28s %11.1f%% %11.1f%%\n", "SLO violations", 100*r.WithViolationFr, 100*r.WithoutViolationFr)
+	fmt.Fprintf(w, "%-28s %12.2f %12.2f\n", "mean instances", r.WithMeanInstances, r.WithoutMeanInstance)
+	fmt.Fprintf(w, "%-28s %11.1f%% %11.1f%%\n", "day-2 SLO violations", 100*r.Day2ViolationFrWith, 100*r.Day2ViolationFrWithout)
+	fmt.Fprintf(w, "day-2 mean instances after recovery: %.2f (full capacity is 10)\n", r.Day2MeanInstancesWith)
+}

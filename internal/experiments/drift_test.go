@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDrift(t *testing.T) {
+	r, err := Drift(Options{Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithRelearns == 0 {
+		t.Fatal("drift should trigger re-clustering")
+	}
+	// The decisive regime is day 2, after the re-learning completed:
+	// the refreshed repository serves it violation-free at scaled
+	// allocations, while the stale one either violates (misclassified
+	// levels) or pins full capacity.
+	if r.Day2ViolationFrWith > 0.05 {
+		t.Errorf("day-2 violations with relearn=%v want <= 0.05", r.Day2ViolationFrWith)
+	}
+	if r.Day2MeanInstancesWith > 9 {
+		t.Errorf("day-2 mean instances=%v; recovery failed", r.Day2MeanInstancesWith)
+	}
+	staleBroken := r.Day2ViolationFrWithout > r.Day2ViolationFrWith+0.02 ||
+		r.WithoutMeanInstance > r.WithMeanInstances+0.5
+	if !staleBroken {
+		t.Errorf("stale controller should either violate or overprovision on day 2: "+
+			"viol without=%v with=%v, instances without=%v with=%v",
+			r.Day2ViolationFrWithout, r.Day2ViolationFrWith,
+			r.WithoutMeanInstance, r.WithMeanInstances)
+	}
+	// The relearned run must not be meaningfully more expensive.
+	if r.WithSavings < r.WithoutSavings-0.02 {
+		t.Errorf("relearn savings=%v should not trail without=%v", r.WithSavings, r.WithoutSavings)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "re-clustering") {
+		t.Error("render missing header")
+	}
+}

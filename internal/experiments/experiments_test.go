@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Most experiments run on a truncated 4-day window to keep the test
+// suite fast; the full 7-day runs happen in cmd/dejavu-exp and the
+// benchmarks.
+var testOpts = Options{Seed: 42, Days: 4}
+
+func TestFigure1Shapes(t *testing.T) {
+	r, err := Figure1(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Clients) != 80 || len(r.LatencyMs) != 80 {
+		t.Fatalf("series length %d/%d want 80", len(r.Clients), len(r.LatencyMs))
+	}
+	// The paper's point: the service is either underperforming or
+	// overcharged for a significant share of the time.
+	if r.ViolationFraction == 0 {
+		t.Error("retuning controller should show SLO violations")
+	}
+	if r.ViolationFraction+r.OverprovisionedFraction < 0.2 {
+		t.Errorf("bad-performance (%v) + overcharged (%v) should be substantial",
+			r.ViolationFraction, r.OverprovisionedFraction)
+	}
+	if r.Retunings < 2 {
+		t.Errorf("Retunings=%d want >= 2 (repeated tuning)", r.Retunings)
+	}
+	if r.MeanRetuning < time.Minute {
+		t.Errorf("MeanRetuning=%v implausibly fast", r.MeanRetuning)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("render should label the figure")
+	}
+}
+
+func TestFigure4Separability(t *testing.T) {
+	r, err := Figure4(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("benchmarks=%d want 3", len(r.Benchmarks))
+	}
+	for _, b := range r.Benchmarks {
+		if len(b.Trials) == 0 {
+			t.Errorf("%s: no trials", b.Service)
+		}
+		// "A large gap between counter values appear": the counter
+		// must separate adjacent volumes beyond the trial noise.
+		if b.Separability < 1 {
+			t.Errorf("%s: separability %.2f < 1 (volumes not distinguishable)",
+				b.Service, b.Separability)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "specweb") {
+		t.Error("render should include specweb")
+	}
+}
+
+func TestFigure5Clustering(t *testing.T) {
+	r, err := Figure5(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 24 {
+		t.Fatalf("points=%d want 24 (one per hour)", len(r.Points))
+	}
+	// Paper: a small set of classes out of 24 workloads (Fig. 5
+	// shows 4; our synthetic HotMail day yields 3).
+	if r.Classes < 2 || r.Classes > 6 {
+		t.Errorf("classes=%d want 2..6", r.Classes)
+	}
+	if r.TuningRunsSaved != 24-r.Classes {
+		t.Errorf("TuningRunsSaved=%d want %d", r.TuningRunsSaved, 24-r.Classes)
+	}
+	// Night hours (0-5) must share a class; so must midday peak
+	// hours (10-13).
+	nightClass := r.Points[0].Class
+	for h := 1; h <= 5; h++ {
+		if r.Points[h].Class != nightClass {
+			t.Errorf("night hour %d class %d != %d", h, r.Points[h].Class, nightClass)
+		}
+	}
+	peakClass := r.Points[10].Class
+	for h := 11; h <= 13; h++ {
+		if r.Points[h].Class != peakClass {
+			t.Errorf("peak hour %d class %d != %d", h, r.Points[h].Class, peakClass)
+		}
+	}
+	if nightClass == peakClass {
+		t.Error("night and peak should be different classes")
+	}
+}
+
+func TestTable1Selection(t *testing.T) {
+	r, err := Table1(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no signature metrics selected")
+	}
+	// The signature must be compact (the paper lists 8 HPCs plus
+	// xentop metrics) and overlap the paper's counter set.
+	if len(r.Rows) > 12 {
+		t.Errorf("signature too wide: %d", len(r.Rows))
+	}
+	if r.Overlap < 1 {
+		t.Errorf("no overlap with the paper's Table 1 counters: %+v", r.Rows)
+	}
+	// No synthetic filler events may survive feature selection.
+	for _, row := range r.Rows {
+		if strings.Contains(row.Description, "filler") {
+			t.Errorf("filler event %s selected", row.Event)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("render should label the table")
+	}
+}
+
+func TestFigure6ScaleOutMessenger(t *testing.T) {
+	r, err := Figure6(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 4 classes for Messenger (accept 3-6), savings ~55%
+	// (accept >= 35% on the truncated window), DejaVu SLO compliance
+	// far better than Autopilot.
+	if r.Classes < 3 || r.Classes > 6 {
+		t.Errorf("classes=%d want 3..6", r.Classes)
+	}
+	if r.DejaVuSavings < 0.35 {
+		t.Errorf("dejavu savings=%v want >= 0.35", r.DejaVuSavings)
+	}
+	if r.DejaVuViolationFrac > 0.15 {
+		t.Errorf("dejavu violations=%v want <= 0.15", r.DejaVuViolationFrac)
+	}
+	if r.AutopilotViolationFr <= r.DejaVuViolationFrac {
+		t.Errorf("autopilot violations (%v) should exceed dejavu (%v)",
+			r.AutopilotViolationFr, r.DejaVuViolationFrac)
+	}
+	if r.CacheHitRate < 0.7 {
+		t.Errorf("cache hit rate=%v want >= 0.7", r.CacheHitRate)
+	}
+	// Adaptation is on the order of the 10 s signature collection.
+	if r.MeanAdaptationSecs <= 0 || r.MeanAdaptationSecs > 120 {
+		t.Errorf("mean adaptation=%vs want (0, 120]", r.MeanAdaptationSecs)
+	}
+	if len(r.HourlyLoad) != (testOpts.days()-1)*24 {
+		t.Errorf("hourly series length=%d want %d", len(r.HourlyLoad), (testOpts.days()-1)*24)
+	}
+}
+
+func TestFigure7ScaleOutHotmail(t *testing.T) {
+	r, err := Figure7(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Classes < 2 || r.Classes > 5 {
+		t.Errorf("classes=%d want 2..5 (paper: 3)", r.Classes)
+	}
+	if r.DejaVuSavings < 0.35 {
+		t.Errorf("savings=%v want >= 0.35", r.DejaVuSavings)
+	}
+	// The day-4 surge lies inside the 4-day test window (day index
+	// 3) and must trigger the full-capacity fallback.
+	if r.UnforeseenEvents == 0 {
+		t.Error("hotmail surge should trigger the unforeseen fallback")
+	}
+	if r.DejaVuViolationFrac > 0.15 {
+		t.Errorf("dejavu violations=%v want <= 0.15", r.DejaVuViolationFrac)
+	}
+}
+
+func TestFigure8AdaptationTimes(t *testing.T) {
+	r, err := Figure8(Options{Seed: 42, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bars) != 6 {
+		t.Fatalf("bars=%d want 6 (2 traces x 3 controllers)", len(r.Bars))
+	}
+	byName := map[string]Figure8Bar{}
+	for _, b := range r.Bars {
+		byName[b.Trace+"/"+b.Controller] = b
+	}
+	for _, tr := range []string{"messenger", "hotmail"} {
+		dv := byName[tr+"/dejavu"]
+		rs3 := byName[tr+"/rightscale-3m"]
+		rs15 := byName[tr+"/rightscale-15m"]
+		if dv.Episodes == 0 {
+			t.Fatalf("%s: dejavu has no adaptations", tr)
+		}
+		// DejaVu ~10s.
+		if dv.MeanSecs < 5 || dv.MeanSecs > 60 {
+			t.Errorf("%s: dejavu mean=%vs want ~10s", tr, dv.MeanSecs)
+		}
+		// RightScale slower; 15m slower than 3m.
+		if rs3.MeanSecs <= dv.MeanSecs {
+			t.Errorf("%s: rightscale-3m (%vs) should be slower than dejavu (%vs)",
+				tr, rs3.MeanSecs, dv.MeanSecs)
+		}
+		if rs15.MeanSecs <= rs3.MeanSecs {
+			t.Errorf("%s: rightscale-15m (%vs) should be slower than 3m (%vs)",
+				tr, rs15.MeanSecs, rs3.MeanSecs)
+		}
+	}
+	// Paper: "more than 10x speedup".
+	if r.Speedup < 10 {
+		t.Errorf("speedup=%vx want >= 10x", r.Speedup)
+	}
+}
+
+func TestFigure9ScaleUpHotmail(t *testing.T) {
+	r, err := Figure9(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~45% savings; the large type suffices most of the time,
+	// XL only around daily peaks.
+	if r.Savings < 0.25 {
+		t.Errorf("savings=%v want >= 0.25", r.Savings)
+	}
+	if r.XLargeHours == 0 {
+		t.Error("peaks should need the extra-large type")
+	}
+	if float64(r.XLargeHours)/float64(r.TotalHours) > 0.5 {
+		t.Errorf("XL used %d/%d hours; large should suffice most of the time",
+			r.XLargeHours, r.TotalHours)
+	}
+	if r.ViolationFr > 0.15 {
+		t.Errorf("QoS violations=%v want <= 0.15", r.ViolationFr)
+	}
+}
+
+func TestFigure10ScaleUpMessenger(t *testing.T) {
+	r, err := Figure10(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Savings < 0.10 {
+		t.Errorf("savings=%v want >= 0.10", r.Savings)
+	}
+	if r.ViolationFr > 0.15 {
+		t.Errorf("QoS violations=%v want <= 0.15", r.ViolationFr)
+	}
+}
+
+func TestScaleUpValidatesTrace(t *testing.T) {
+	if _, err := ScaleUp("nope", testOpts); err == nil {
+		t.Error("unknown trace should error")
+	}
+	if _, err := ScaleOut("nope", testOpts); err == nil {
+		t.Error("unknown trace should error")
+	}
+}
+
+func TestFigure11Interference(t *testing.T) {
+	r, err := Figure11(Options{Seed: 42, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection off: unacceptable performance much of the time.
+	// Detection on: compliant, at the cost of more instances.
+	if r.ViolationFrOn >= r.ViolationFrOff {
+		t.Errorf("detection on violations=%v should beat off=%v",
+			r.ViolationFrOn, r.ViolationFrOff)
+	}
+	if r.ViolationFrOff < 0.2 {
+		t.Errorf("detection-off violations=%v should be substantial", r.ViolationFrOff)
+	}
+	if r.MeanInstancesOn <= r.MeanInstancesOff {
+		t.Errorf("detection should provision more: on=%v off=%v",
+			r.MeanInstancesOn, r.MeanInstancesOff)
+	}
+	if r.InterferenceEvents == 0 {
+		t.Error("interference loop never fired")
+	}
+}
+
+func TestProxyOverheadExperiment(t *testing.T) {
+	r, err := ProxyOverhead(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineLatency <= 0 || r.DuplicatingLatency <= 0 {
+		t.Fatalf("latencies not measured: %+v", r)
+	}
+	// Loopback duplication must stay in the low-millisecond range
+	// (paper: ~3 ms against a real database tier).
+	if r.Overhead > 5*time.Millisecond {
+		t.Errorf("duplication overhead=%v too high", r.Overhead)
+	}
+	if len(r.NetworkOverheadRows) != 4 {
+		t.Fatalf("network rows=%d want 4", len(r.NetworkOverheadRows))
+	}
+	// 100 instances at 1:10 inbound/outbound -> ~0.1% of traffic.
+	row100 := r.NetworkOverheadRows[2]
+	if row100.Instances != 100 || row100.Fraction > 0.002 {
+		t.Errorf("100-instance overhead=%v want ~0.001", row100.Fraction)
+	}
+}
+
+func TestCostSummary(t *testing.T) {
+	r, err := CostSummary(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four savings positive; scale-out beats scale-up on average
+	// (finer allocation granularity).
+	for name, s := range map[string]float64{
+		"scaleout-messenger": r.ScaleOutMessenger,
+		"scaleout-hotmail":   r.ScaleOutHotmail,
+		"scaleup-messenger":  r.ScaleUpMessenger,
+		"scaleup-hotmail":    r.ScaleUpHotmail,
+	} {
+		if s <= 0 || s >= 1 {
+			t.Errorf("%s savings=%v out of (0,1)", name, s)
+		}
+	}
+	so := (r.ScaleOutMessenger + r.ScaleOutHotmail) / 2
+	su := (r.ScaleUpMessenger + r.ScaleUpHotmail) / 2
+	if so <= su {
+		t.Errorf("scale-out savings (%v) should exceed scale-up (%v)", so, su)
+	}
+	// Dollar extrapolation: order of magnitude of the paper's
+	// $250k/yr for 100 instances.
+	if r.AnnualSavings100 < 50_000 || r.AnnualSavings100 > 500_000 {
+		t.Errorf("annual savings for 100 instances=%v out of plausible band", r.AnnualSavings100)
+	}
+	if r.AnnualSavings1000 != 10*r.AnnualSavings100 {
+		t.Error("1000-instance savings should be 10x the 100-instance value")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Figure6(Options{Seed: 7, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure6(Options{Seed: 7, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DejaVuCost != b.DejaVuCost || a.Classes != b.Classes {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	// Every result must render without panicking and mention its
+	// figure label.
+	var buf bytes.Buffer
+	if r, err := Figure8(Options{Seed: 1, Days: 2}); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Error(err)
+	}
+	if r, err := Figure9(Options{Seed: 1, Days: 2}); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Error(err)
+	}
+	if r, err := Figure11(Options{Seed: 1, Days: 2}); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Error(err)
+	}
+	if r, err := ProxyOverhead(Options{Seed: 1}); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Error(err)
+	}
+	if r, err := CostSummary(Options{Seed: 1, Days: 2}); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Error(err)
+	}
+	out := buf.String()
+	for _, label := range []string{"Figure 8", "Figure 9", "Figure 11", "4.4", "4.5"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("render output missing %q", label)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Figure1Result reproduces the motivating experiment: RUBiS under a
+// sine-wave load with a state-of-the-art controller that re-runs the
+// tuning process on every workload change, so the service repeatedly
+// delivers "bad performance" or is "over charged" while tuning lags.
+type Figure1Result struct {
+	// Minutes, Clients, LatencyMs are the per-minute series of
+	// Fig. 1 (workload volume and average latency).
+	Minutes   []float64
+	Clients   []float64
+	LatencyMs []float64
+	// SLOLatencyMs is the SLO line.
+	SLOLatencyMs float64
+	// ViolationFraction is the share of time above the SLO ("bad
+	// performance").
+	ViolationFraction float64
+	// OverprovisionedFraction is the share of time with at least
+	// two instances more than needed ("over charged").
+	OverprovisionedFraction float64
+	// Retunings is how many tuning processes ran, and MeanRetuning
+	// their mean duration — the overhead DejaVu eliminates.
+	Retunings    int
+	MeanRetuning time.Duration
+}
+
+// Figure1 runs the experiment: sine-wave volume (period 40 min) over
+// 80 minutes, mirroring the paper's "change the workload volume every
+// 10 minutes ... according to a sine-wave".
+func Figure1(opts Options) (*Figure1Result, error) {
+	svc := services.NewRUBiS()
+	tuner, err := core.NewScaleOutTuner(svc, cloud.Large, 1, svc.MaxInstances)
+	if err != nil {
+		return nil, err
+	}
+	// Each sandboxed experiment takes ~1 minute, so a full sweep
+	// lags far behind a 40-minute sine period.
+	tuner.TrialDuration = time.Minute
+	rt, err := baseline.NewRetuner(tuner)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.Sine(100, 500, 40*time.Minute, 80*time.Minute, time.Minute)
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      tr,
+		Controller: rt,
+		Initial:    cloud.Allocation{Type: cloud.Large, Count: 3},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Figure1Result{SLOLatencyMs: svc.SLO().MaxLatencyMs}
+	over := 0
+	for i, rec := range res.Records {
+		out.Minutes = append(out.Minutes, float64(i))
+		out.Clients = append(out.Clients, rec.Clients)
+		out.LatencyMs = append(out.LatencyMs, rec.LatencyMs)
+		needed := services.RequiredCapacity(svc, services.Workload{Clients: rec.Clients, Mix: svc.DefaultMix()})
+		if rec.Allocation.Capacity() >= needed+2 {
+			over++
+		}
+	}
+	out.ViolationFraction = res.SLOViolationFraction
+	out.OverprovisionedFraction = float64(over) / float64(len(res.Records))
+	times := rt.AdaptationTimes()
+	out.Retunings = len(times)
+	if len(times) > 0 {
+		var total time.Duration
+		for _, d := range times {
+			total += d
+		}
+		out.MeanRetuning = total / time.Duration(len(times))
+	}
+	return out, nil
+}
+
+// Render writes the figure data as text.
+func (r *Figure1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 1: state-of-the-art retuning under a sine-wave workload (RUBiS) ===")
+	fmt.Fprintf(w, "SLO latency: %.0f ms\n", r.SLOLatencyMs)
+	renderSeries(w, "clients   ", r.Clients)
+	renderSeries(w, "latency_ms", r.LatencyMs)
+	fmt.Fprintf(w, "bad performance (SLO violated): %.0f%% of the time\n", 100*r.ViolationFraction)
+	fmt.Fprintf(w, "over charged (>= 2 spare instances): %.0f%% of the time\n", 100*r.OverprovisionedFraction)
+	fmt.Fprintf(w, "tuning processes: %d, mean duration %s\n", r.Retunings, fseconds(r.MeanRetuning))
+}

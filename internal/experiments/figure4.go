@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/services"
+)
+
+// Figure4Trial is one profiling trial: a counter reading for a
+// workload at a given volume and mix.
+type Figure4Trial struct {
+	Volume float64
+	Mix    string
+	Trial  int
+	Value  float64
+}
+
+// Figure4Benchmark holds the trials of one benchmark subplot.
+type Figure4Benchmark struct {
+	Service string
+	Counter metrics.Event
+	Trials  []Figure4Trial
+	// Separability is the smallest gap between adjacent volume
+	// groups divided by the largest intra-group spread; > 1 means
+	// the counter reliably distinguishes the volumes (the paper's
+	// "large gap between counter values").
+	Separability float64
+}
+
+// Figure4Result reproduces Fig. 4(a-c): low-level metrics serve as a
+// signature that reliably identifies workloads differing in type or
+// intensity — SPECweb2009, RUBiS, and Cassandra, 5 trials per volume.
+type Figure4Result struct {
+	Benchmarks []Figure4Benchmark
+}
+
+// figure4Volumes are the client volumes probed per benchmark.
+var figure4Volumes = []float64{100, 200, 300, 400, 500}
+
+const figure4Trials = 5
+
+// Figure4 runs the experiment.
+func Figure4(opts Options) (*Figure4Result, error) {
+	rng := opts.rng()
+	cassandra := services.NewCassandra()
+	specweb := services.NewSPECWeb()
+	rubis := services.NewRUBiS()
+
+	cases := []struct {
+		svc     services.Service
+		counter metrics.Event
+		mixes   []services.Mix
+	}{
+		// Fig. 4a: SPECweb with the Flops counter, two workload
+		// types (banking is FP-heavy, support is I/O-heavy).
+		{specweb, metrics.EvFlopsRate, []services.Mix{specweb.BankingMix(), specweb.DefaultMix()}},
+		// Fig. 4b: RUBiS.
+		{rubis, metrics.EvCPUClkUnhalt, []services.Mix{rubis.DefaultMix()}},
+		// Fig. 4c: Cassandra, update-heavy vs read-mostly.
+		{cassandra, metrics.EvL2St, []services.Mix{cassandra.DefaultMix(), cassandra.ReadMostlyMix()}},
+	}
+
+	out := &Figure4Result{}
+	for _, c := range cases {
+		mon, err := metrics.NewMonitor([]metrics.Event{c.counter}, rng)
+		if err != nil {
+			return nil, err
+		}
+		bench := Figure4Benchmark{Service: c.svc.Name(), Counter: c.counter}
+		// Group values by (volume, mix) for separability.
+		groups := make(map[string][]float64)
+		for _, mix := range c.mixes {
+			for _, vol := range figure4Volumes {
+				src := services.ProfileSource{
+					Service:   c.svc,
+					Workload:  services.Workload{Clients: vol, Mix: mix},
+					Instances: c.svc.MaxAllocation().Count,
+				}
+				for trial := 0; trial < figure4Trials; trial++ {
+					s, err := mon.Sample(src, 10*time.Second)
+					if err != nil {
+						return nil, err
+					}
+					v := s.Values[c.counter]
+					bench.Trials = append(bench.Trials, Figure4Trial{
+						Volume: vol, Mix: mix.Name, Trial: trial, Value: v,
+					})
+					key := fmt.Sprintf("%s@%.0f", mix.Name, vol)
+					groups[key] = append(groups[key], v)
+				}
+			}
+		}
+		bench.Separability = separability(c.mixes, figure4Volumes, groups)
+		out.Benchmarks = append(out.Benchmarks, bench)
+	}
+	return out, nil
+}
+
+// separability computes, per mix, the smallest gap between adjacent
+// volume groups divided by the largest intra-group spread *of that
+// mix*, and returns the minimum over mixes. Comparing within a mix
+// matters: counter magnitudes differ across mixes by design (that is
+// the type signal), so one mix's spread must not mask another's gaps.
+func separability(mixes []services.Mix, volumes []float64, groups map[string][]float64) float64 {
+	overall := -1.0
+	for _, mix := range mixes {
+		minGap, maxSpread := -1.0, 0.0
+		for i, vol := range volumes {
+			key := fmt.Sprintf("%s@%.0f", mix.Name, vol)
+			lo, hi := minMax(groups[key])
+			if s := hi - lo; s > maxSpread {
+				maxSpread = s
+			}
+			if i == 0 {
+				continue
+			}
+			prev := groups[fmt.Sprintf("%s@%.0f", mix.Name, volumes[i-1])]
+			_, prevHi := minMax(prev)
+			gap := lo - prevHi
+			if gap < 0 {
+				gap = 0
+			}
+			if minGap < 0 || gap < minGap {
+				minGap = gap
+			}
+		}
+		if maxSpread == 0 || minGap < 0 {
+			return 0
+		}
+		ratio := minGap / maxSpread
+		if overall < 0 || ratio < overall {
+			overall = ratio
+		}
+	}
+	if overall < 0 {
+		return 0
+	}
+	return overall
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Render writes the figure data as text.
+func (r *Figure4Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 4: low-level metrics as workload signatures (5 trials per volume) ===")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(w, "--- %s (counter %s), separability %.1fx ---\n", b.Service, b.Counter, b.Separability)
+		for _, t := range b.Trials {
+			if t.Trial == 0 {
+				fmt.Fprintf(w, "  %s @ %3.0f clients:", t.Mix, t.Volume)
+			}
+			fmt.Fprintf(w, " %.3g", t.Value)
+			if t.Trial == figure4Trials-1 {
+				fmt.Fprintln(w)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Figure5Point is one learning-day workload projected onto the first
+// two signature metrics, tagged with its class.
+type Figure5Point struct {
+	Hour    int
+	Metric1 float64
+	Metric2 float64
+	Class   int
+}
+
+// Figure5Result reproduces Fig. 5: DejaVu replays the day-long HotMail
+// trace, collects 24 hourly workloads, and identifies a handful of
+// workload classes for which tuning must run — "DejaVu substantially
+// reduces the tuning overhead by producing only 4 workload classes out
+// of 24 initial workloads" (our synthetic HotMail day yields 3, one of
+// the paper's own counts for this trace).
+type Figure5Result struct {
+	// MetricNames labels the two projection axes.
+	MetricNames [2]metrics.Event
+	Points      []Figure5Point
+	Classes     int
+	// TuningRunsSaved = workloads - classes.
+	TuningRunsSaved int
+}
+
+// Figure5 runs the experiment on the HotMail trace's learning day.
+func Figure5(opts Options) (*Figure5Result, error) {
+	l, err := learnCassandra("hotmail", opts)
+	if err != nil {
+		return nil, err
+	}
+	day0, err := l.tr.Day(0)
+	if err != nil {
+		return nil, err
+	}
+	events := l.repo.Events()
+	// Two projection axes: pad with a volume-tracking xentop metric
+	// when the signature has a single event.
+	var axes [2]metrics.Event
+	axes[0] = events[0]
+	if len(events) > 1 {
+		axes[1] = events[1]
+	} else if events[0] != metrics.EvXenNetRx {
+		axes[1] = metrics.EvXenNetRx
+	} else {
+		axes[1] = metrics.EvXenNetTx
+	}
+
+	out := &Figure5Result{
+		MetricNames:     axes,
+		Classes:         l.report.Classes,
+		TuningRunsSaved: l.report.NumWorkloads - l.report.Classes,
+	}
+	for hour, w := range core.WorkloadsFromTrace(day0, l.svc.DefaultMix()) {
+		sig, err := l.prof.Profile(w, axes[:])
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Figure5Point{
+			Hour:    hour,
+			Metric1: sig.Values[0],
+			Metric2: sig.Values[1],
+			Class:   l.report.WorkloadClass[hour],
+		})
+	}
+	return out, nil
+}
+
+// Render writes the figure data as text.
+func (r *Figure5Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 5: identifying representative workloads (HotMail learning day) ===")
+	fmt.Fprintf(w, "axes: %s vs %s\n", r.MetricNames[0], r.MetricNames[1])
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  hour %2d: (%10.3f, %10.3f) -> class %d\n", p.Hour, p.Metric1, p.Metric2, p.Class)
+	}
+	fmt.Fprintf(w, "%d workloads -> %d classes (%d tuning runs saved)\n",
+		len(r.Points), r.Classes, r.TuningRunsSaved)
+}

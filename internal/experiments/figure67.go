@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ScaleOutResult reproduces Figures 6 and 7: Cassandra scaled out
+// (2-10 large instances) under the Messenger or HotMail trace, with
+// DejaVu reusing cached allocations hourly and Autopilot blindly
+// repeating the learning day's schedule. Savings are measured against
+// the fixed full-capacity allocation, over the six reuse days.
+type ScaleOutResult struct {
+	TraceName string
+	// Classes is the number of workload classes from the learning
+	// phase (paper: 4 for Messenger, 3 for HotMail).
+	Classes int
+	// SignatureWidth is the number of metrics in the signature.
+	SignatureWidth int
+
+	// Per-hour series over the reuse window (subfigures a-c).
+	HourlyLoad             []float64
+	HourlyInstancesDejaVu  []float64
+	HourlyInstancesAutopil []float64
+	HourlyLatencyDejaVu    []float64
+	SLOLatencyMs           float64
+
+	// Headline numbers.
+	DejaVuSavings        float64 // vs fixed max (paper: ~55% / ~60%)
+	AutopilotSavings     float64
+	DejaVuViolationFrac  float64
+	AutopilotViolationFr float64 // paper: >= 28%
+	DejaVuCost           float64
+	AutopilotCost        float64
+	FixedMaxCost         float64
+	UnforeseenEvents     int // paper: the HotMail day-4 surge
+	CacheHitRate         float64
+	MeanAdaptationSecs   float64
+}
+
+// ScaleOut runs the case study for "messenger" (Fig. 6) or "hotmail"
+// (Fig. 7).
+func ScaleOut(traceName string, opts Options) (*ScaleOutResult, error) {
+	l, err := learnCassandra(traceName, opts)
+	if err != nil {
+		return nil, err
+	}
+	window, err := l.reuseWindow(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// DejaVu run.
+	ctl, err := l.controller(false)
+	if err != nil {
+		return nil, err
+	}
+	dejavu, err := sim.Run(sim.Config{
+		Service:    l.svc,
+		Trace:      window,
+		Controller: ctl,
+		Initial:    l.svc.MaxAllocation(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Autopilot run: tuned on the same learning day.
+	day0, err := l.tr.Day(0)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := baseline.LearnAutopilotSchedule(l.tuner, core.WorkloadsFromTrace(day0, l.svc.DefaultMix()))
+	if err != nil {
+		return nil, err
+	}
+	autopilot, err := sim.Run(sim.Config{
+		Service:    l.svc,
+		Trace:      window,
+		Controller: ap,
+		Initial:    l.svc.MaxAllocation(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fixedCost := sim.FixedMaxCost(l.svc, window)
+	out := &ScaleOutResult{
+		TraceName:            traceName,
+		Classes:              l.report.Classes,
+		SignatureWidth:       len(l.report.SignatureEvents),
+		SLOLatencyMs:         l.svc.SLO().MaxLatencyMs,
+		DejaVuSavings:        dejavu.CostSavingsVs(fixedCost),
+		AutopilotSavings:     autopilot.CostSavingsVs(fixedCost),
+		DejaVuViolationFrac:  dejavu.SLOViolationFraction,
+		AutopilotViolationFr: autopilot.SLOViolationFraction,
+		DejaVuCost:           dejavu.TotalCost,
+		AutopilotCost:        autopilot.TotalCost,
+		FixedMaxCost:         fixedCost,
+		UnforeseenEvents:     ctl.UnforeseenCount(),
+		CacheHitRate:         l.repo.HitRate(),
+	}
+	if times := ctl.AdaptationTimes(); len(times) > 0 {
+		total := 0.0
+		for _, d := range times {
+			total += d.Seconds()
+		}
+		out.MeanAdaptationSecs = total / float64(len(times))
+	}
+
+	var loads, instD, instA, latD []float64
+	for _, rec := range dejavu.Records {
+		loads = append(loads, rec.Clients)
+		instD = append(instD, float64(rec.Allocation.Count))
+		latD = append(latD, rec.LatencyMs)
+	}
+	for _, rec := range autopilot.Records {
+		instA = append(instA, float64(rec.Allocation.Count))
+	}
+	out.HourlyLoad = hourly(loads, 60)
+	out.HourlyInstancesDejaVu = hourly(instD, 60)
+	out.HourlyInstancesAutopil = hourly(instA, 60)
+	out.HourlyLatencyDejaVu = hourly(latD, 60)
+	return out, nil
+}
+
+// Figure6 is the Messenger-trace case study.
+func Figure6(opts Options) (*ScaleOutResult, error) { return ScaleOut("messenger", opts) }
+
+// Figure7 is the HotMail-trace case study.
+func Figure7(opts Options) (*ScaleOutResult, error) { return ScaleOut("hotmail", opts) }
+
+// Render writes the figure data as text.
+func (r *ScaleOutResult) Render(w io.Writer) {
+	fig := "Figure 6"
+	if r.TraceName == "hotmail" {
+		fig = "Figure 7"
+	}
+	fmt.Fprintf(w, "=== %s: scaling out Cassandra with the %s trace ===\n", fig, r.TraceName)
+	fmt.Fprintf(w, "learning: %d workload classes, %d-metric signature\n", r.Classes, r.SignatureWidth)
+	renderSeries(w, "load (clients, hourly)  ", r.HourlyLoad)
+	renderSeries(w, "instances dejavu        ", r.HourlyInstancesDejaVu)
+	renderSeries(w, "instances autopilot     ", r.HourlyInstancesAutopil)
+	renderSeries(w, "latency dejavu (ms)     ", r.HourlyLatencyDejaVu)
+	fmt.Fprintf(w, "SLO: %.0f ms\n", r.SLOLatencyMs)
+	fmt.Fprintf(w, "cost: dejavu $%.2f, autopilot $%.2f, fixed max $%.2f\n",
+		r.DejaVuCost, r.AutopilotCost, r.FixedMaxCost)
+	fmt.Fprintf(w, "savings vs fixed max: dejavu %.0f%%, autopilot %.0f%%\n",
+		100*r.DejaVuSavings, 100*r.AutopilotSavings)
+	fmt.Fprintf(w, "SLO violations: dejavu %.1f%%, autopilot %.1f%%\n",
+		100*r.DejaVuViolationFrac, 100*r.AutopilotViolationFr)
+	fmt.Fprintf(w, "unforeseen workloads -> full capacity: %d; cache hit rate %.0f%%; mean adaptation %.1fs\n",
+		r.UnforeseenEvents, 100*r.CacheHitRate, r.MeanAdaptationSecs)
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cloud"
+	"repro/internal/sim"
+)
+
+// Figure8Bar is one bar of Fig. 8: mean adaptation time with standard
+// error for a controller on a trace.
+type Figure8Bar struct {
+	Trace      string
+	Controller string
+	MeanSecs   float64
+	StdErrSecs float64
+	Episodes   int
+}
+
+// Figure8Result reproduces Fig. 8: DejaVu adapts in ~10 s (one
+// signature collection) while RightScale needs one to two orders of
+// magnitude longer because it converges through calm-time-separated
+// incremental resizes (shown for the 3-minute minimum and 15-minute
+// recommended calm times).
+type Figure8Result struct {
+	Bars []Figure8Bar
+	// Speedup is the ratio of the slowest RightScale mean to the
+	// DejaVu mean across traces (paper: "more than 10x").
+	Speedup float64
+}
+
+// Figure8 runs the experiment on both traces.
+func Figure8(opts Options) (*Figure8Result, error) {
+	out := &Figure8Result{}
+	worstRS, bestDV := 0.0, math.Inf(1)
+	for _, traceName := range []string{"messenger", "hotmail"} {
+		l, err := learnCassandra(traceName, opts)
+		if err != nil {
+			return nil, err
+		}
+		window, err := l.reuseWindow(opts)
+		if err != nil {
+			return nil, err
+		}
+
+		// DejaVu.
+		ctl, err := l.controller(false)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(sim.Config{
+			Service:    l.svc,
+			Trace:      window,
+			Controller: ctl,
+			Initial:    l.svc.MaxAllocation(),
+		}); err != nil {
+			return nil, err
+		}
+		bar := meanBar(traceName, "dejavu", ctl.AdaptationTimes())
+		out.Bars = append(out.Bars, bar)
+		if bar.MeanSecs < bestDV && bar.Episodes > 0 {
+			bestDV = bar.MeanSecs
+		}
+
+		// RightScale at both calm times.
+		for _, calm := range []time.Duration{3 * time.Minute, 15 * time.Minute} {
+			rs, err := baseline.NewRightScale(cloud.Large, l.svc.MinInstances, l.svc.MaxInstances, calm)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sim.Run(sim.Config{
+				Service:    l.svc,
+				Trace:      window,
+				Controller: rs,
+				Initial:    l.svc.MaxAllocation(),
+			}); err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("rightscale-%dm", int(calm.Minutes()))
+			bar := meanBar(traceName, name, rs.AdaptationTimes())
+			out.Bars = append(out.Bars, bar)
+			if bar.MeanSecs > worstRS {
+				worstRS = bar.MeanSecs
+			}
+		}
+	}
+	if bestDV > 0 && !math.IsInf(bestDV, 1) {
+		out.Speedup = worstRS / bestDV
+	}
+	return out, nil
+}
+
+func meanBar(traceName, controller string, times []time.Duration) Figure8Bar {
+	bar := Figure8Bar{Trace: traceName, Controller: controller, Episodes: len(times)}
+	if len(times) == 0 {
+		return bar
+	}
+	var secs []float64
+	sum := 0.0
+	for _, d := range times {
+		s := d.Seconds()
+		secs = append(secs, s)
+		sum += s
+	}
+	bar.MeanSecs = sum / float64(len(secs))
+	if len(secs) > 1 {
+		varsum := 0.0
+		for _, s := range secs {
+			varsum += (s - bar.MeanSecs) * (s - bar.MeanSecs)
+		}
+		bar.StdErrSecs = math.Sqrt(varsum/float64(len(secs)-1)) / math.Sqrt(float64(len(secs)))
+	}
+	return bar
+}
+
+// Render writes the figure data as text.
+func (r *Figure8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 8: decision/adaptation times, DejaVu vs RightScale (log scale in paper) ===")
+	for _, b := range r.Bars {
+		fmt.Fprintf(w, "  %-10s %-15s mean %8.1fs  stderr %6.1fs  (%d episodes)\n",
+			b.Trace, b.Controller, b.MeanSecs, b.StdErrSecs, b.Episodes)
+	}
+	fmt.Fprintf(w, "slowest RightScale over fastest DejaVu: %.0fx\n", r.Speedup)
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/sim"
+)
+
+// ScaleUpResult reproduces Figures 9 and 10: SPECweb2009 (support
+// workload, QoS SLO of 95%) served by a fixed count of instances whose
+// *type* DejaVu switches between large and extra-large as the load
+// varies — EC2's vertical scaling. Savings are measured against
+// holding the extra-large type at all times.
+type ScaleUpResult struct {
+	TraceName string
+	Classes   int
+
+	// HourlyXLarge is 1.0 when the hour ran on extra-large, 0.0 on
+	// large (fractional during transitions) — subfigure (a)'s L/XL
+	// band.
+	HourlyXLarge []float64
+	// HourlyQoS is subfigure (b)'s QoS series.
+	HourlyQoS []float64
+	QoSFloor  float64
+
+	DejaVuCost   float64
+	FixedXLCost  float64
+	Savings      float64 // paper: ~45% HotMail, ~35% Messenger
+	ViolationFr  float64
+	XLargeHours  int
+	TotalHours   int
+	Unforeseen   int
+	CacheHitRate float64
+}
+
+// ScaleUp runs the case study for "hotmail" (Fig. 9) or "messenger"
+// (Fig. 10).
+func ScaleUp(traceName string, opts Options) (*ScaleUpResult, error) {
+	rng := opts.rng()
+	svc := services.NewSPECWeb()
+	tr, err := buildTrace(traceName, SPECWebPeakClients, rng)
+	if err != nil {
+		return nil, err
+	}
+	day0, err := tr.Day(0)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := core.NewProfiler(svc, rng)
+	if err != nil {
+		return nil, err
+	}
+	tuner, err := core.NewScaleUpTuner(svc, svc.Instances, []cloud.InstanceType{cloud.Large, cloud.XLarge})
+	if err != nil {
+		return nil, err
+	}
+	repo, report, err := core.Learn(core.LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: core.WorkloadsFromTrace(day0, svc.DefaultMix()),
+		Rng:       rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := core.NewController(core.ControllerConfig{
+		Repository: repo,
+		Profiler:   prof,
+		Tuner:      tuner,
+		Service:    svc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	window, err := tr.Slice(24, opts.days()*24)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		Service:    svc,
+		Trace:      window,
+		Controller: ctl,
+		Initial:    svc.MaxAllocation(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fixedCost := sim.FixedMaxCost(svc, window)
+	out := &ScaleUpResult{
+		TraceName:    traceName,
+		Classes:      report.Classes,
+		QoSFloor:     svc.SLO().MinQoSPercent,
+		DejaVuCost:   res.TotalCost,
+		FixedXLCost:  fixedCost,
+		Savings:      res.CostSavingsVs(fixedCost),
+		ViolationFr:  res.SLOViolationFraction,
+		Unforeseen:   ctl.UnforeseenCount(),
+		CacheHitRate: repo.HitRate(),
+	}
+	var xl, qos []float64
+	for _, rec := range res.Records {
+		v := 0.0
+		if rec.Allocation.Type.Name == cloud.XLarge.Name {
+			v = 1.0
+		}
+		xl = append(xl, v)
+		qos = append(qos, rec.QoSPercent)
+	}
+	out.HourlyXLarge = hourly(xl, 60)
+	out.HourlyQoS = hourly(qos, 60)
+	for _, h := range out.HourlyXLarge {
+		out.TotalHours++
+		if h >= 0.5 {
+			out.XLargeHours++
+		}
+	}
+	return out, nil
+}
+
+// Figure9 is the HotMail-trace scale-up case study.
+func Figure9(opts Options) (*ScaleUpResult, error) { return ScaleUp("hotmail", opts) }
+
+// Figure10 is the Messenger-trace scale-up case study.
+func Figure10(opts Options) (*ScaleUpResult, error) { return ScaleUp("messenger", opts) }
+
+// Render writes the figure data as text.
+func (r *ScaleUpResult) Render(w io.Writer) {
+	fig := "Figure 9"
+	if r.TraceName == "messenger" {
+		fig = "Figure 10"
+	}
+	fmt.Fprintf(w, "=== %s: scaling up SPECweb with the %s trace ===\n", fig, r.TraceName)
+	fmt.Fprintf(w, "learning: %d workload classes\n", r.Classes)
+	renderSeries(w, "xlarge fraction (hourly)", r.HourlyXLarge)
+	renderSeries(w, "QoS %% (hourly)          ", r.HourlyQoS)
+	fmt.Fprintf(w, "QoS floor: %.0f%%; violations %.1f%% of time\n", r.QoSFloor, 100*r.ViolationFr)
+	fmt.Fprintf(w, "extra-large hours: %d/%d\n", r.XLargeHours, r.TotalHours)
+	fmt.Fprintf(w, "cost: dejavu $%.2f vs always-xlarge $%.2f -> savings %.0f%%\n",
+		r.DejaVuCost, r.FixedXLCost, 100*r.Savings)
+	fmt.Fprintf(w, "unforeseen events: %d; cache hit rate %.0f%%\n", r.Unforeseen, 100*r.CacheHitRate)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/services"
+)
+
+// table1Events are the eight HPC counters the paper reports in RUBiS's
+// workload signature (Table 1).
+var table1Events = map[metrics.Event]string{
+	metrics.EvBusqEmpty:    "Bus queue is empty",
+	metrics.EvCPUClkUnhalt: "Clock cycles when not halted",
+	metrics.EvL2Ads:        "Cycles the L2 address bus is in use",
+	metrics.EvL2RejectBusq: "Rejected L2 cache requests",
+	metrics.EvL2St:         "Number of L2 data stores",
+	metrics.EvLoadBlock:    "Events pertaining to loads",
+	metrics.EvStoreBlock:   "Events pertaining to stores",
+	metrics.EvPageWalks:    "Page table walk events",
+}
+
+// Table1Row is one selected signature metric.
+type Table1Row struct {
+	Event       metrics.Event
+	Description string
+	// HPC distinguishes hardware counters from xentop metrics (the
+	// paper's Table 1 excludes the xentop metrics).
+	HPC bool
+	// InPaperTable reports whether the paper's Table 1 also lists
+	// this counter.
+	InPaperTable bool
+}
+
+// Table1Result reproduces Table 1: the metrics the automated feature
+// selection picks as RUBiS's workload signature. The profiling dataset
+// varies both intensity (volume) and type (browsing / bidding /
+// selling mixes), so the selection needs metrics covering CPU, cache,
+// memory, and the bus queue.
+type Table1Result struct {
+	Rows []Table1Row
+	// Overlap is how many selected HPC metrics appear in the paper's
+	// Table 1.
+	Overlap int
+	// Merit is the CFS merit of the subset.
+	Merit float64
+	// Classes is the number of workload classes in the profiling
+	// dataset.
+	Classes int
+}
+
+// Table1 runs feature selection on a RUBiS profiling dataset.
+func Table1(opts Options) (*Table1Result, error) {
+	rng := opts.rng()
+	svc := services.NewRUBiS()
+	prof, err := core.NewProfiler(svc, rng)
+	if err != nil {
+		return nil, err
+	}
+	tuner, err := core.NewScaleOutTuner(svc, cloud.Large, 1, svc.MaxInstances)
+	if err != nil {
+		return nil, err
+	}
+	// Profiling workloads: 3 request mixes x 5 volumes, mirroring
+	// RUBiS's 26 interactions collapsing into browse/bid/sell
+	// behaviour at different intensities.
+	var workloads []services.Workload
+	for _, mix := range []services.Mix{svc.BrowsingMix(), svc.DefaultMix(), svc.SellingMix()} {
+		for _, vol := range []float64{100, 200, 300, 400, 500} {
+			workloads = append(workloads, services.Workload{Clients: vol, Mix: mix})
+		}
+	}
+	_, report, err := core.Learn(core.LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: workloads,
+		MaxK:      8,
+		Rng:       rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Table1Result{Merit: report.CFSMerit, Classes: report.Classes}
+	for _, ev := range report.SignatureEvents {
+		desc := "(synthetic filler event)"
+		for _, info := range metrics.Catalog() {
+			if info.Event == ev {
+				desc = info.Description
+				break
+			}
+		}
+		_, inPaper := table1Events[ev]
+		row := Table1Row{Event: ev, Description: desc, HPC: metrics.IsHPC(ev), InPaperTable: inPaper}
+		if inPaper {
+			out.Overlap++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the table as text.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "=== Table 1: RUBiS workload-signature metrics selected by CFS ===")
+	fmt.Fprintf(w, "%-20s %-45s %-6s %s\n", "metric", "description", "hpc", "in paper's Table 1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-20s %-45s %-6v %v\n", row.Event, row.Description, row.HPC, row.InPaperTable)
+	}
+	fmt.Fprintf(w, "overlap with the paper's 8 counters: %d; CFS merit %.3f; %d workload classes\n",
+		r.Overlap, r.Merit, r.Classes)
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTypeChange(t *testing.T) {
+	r, err := TypeChange(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DejaVu recognizes the recurring mixes from their signatures
+	// and reuses cached allocations: almost no runtime tuning, high
+	// hit rate, ~10 s adaptations.
+	if r.DejaVuCacheHitRate < 0.8 {
+		t.Errorf("dejavu hit rate=%v want >= 0.8", r.DejaVuCacheHitRate)
+	}
+	if r.DejaVuRuntimeTunings > 1 {
+		t.Errorf("dejavu runtime tunings=%d want <= 1", r.DejaVuRuntimeTunings)
+	}
+	if r.DejaVuMeanAdaptSecs <= 0 || r.DejaVuMeanAdaptSecs > 60 {
+		t.Errorf("dejavu mean adaptation=%vs want ~10s", r.DejaVuMeanAdaptSecs)
+	}
+	// The model-based controller must keep recalibrating: every mix
+	// switch drifts its demand parameter.
+	if r.ModelRecalibrations < 4 {
+		t.Errorf("model recalibrations=%d want >= 4 (one per switch)", r.ModelRecalibrations)
+	}
+	// DejaVu holds the SLO at least as well.
+	if r.DejaVuViolationFr > r.ModelViolationFr+1e-9 {
+		t.Errorf("dejavu violations=%v should not exceed model=%v",
+			r.DejaVuViolationFr, r.ModelViolationFr)
+	}
+	if r.DejaVuViolationFr > 0.1 {
+		t.Errorf("dejavu violations=%v want <= 0.1", r.DejaVuViolationFr)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "workload-type changes") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Source is anything that exposes true underlying event rates — in this
+// repository the service simulators. Rates returns events per second
+// for every event the source emits; the Monitor turns those into
+// noisy, register-constrained counter readings.
+type Source interface {
+	Rates() map[Event]float64
+}
+
+// StaticSource is a fixed-rate Source, handy for tests.
+type StaticSource map[Event]float64
+
+// Rates implements Source.
+func (s StaticSource) Rates() map[Event]float64 {
+	out := make(map[Event]float64, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Bank models the processor's programmable HPC registers. Only
+// NumRegisters hardware events can be counted simultaneously at full
+// fidelity; monitoring more requires time-division multiplexing, which
+// costs accuracy (paper §3.3, citing Mathur & Cook).
+type Bank struct {
+	// NumRegisters is the number of simultaneously programmable
+	// counters; the paper's Xeon X5472 has four.
+	NumRegisters int
+	// MultiplexNoise is the relative standard deviation of the extra
+	// estimation error per unit of over-subscription.
+	MultiplexNoise float64
+}
+
+// DefaultBank mirrors the paper's profiling host: four registers and a
+// 2% multiplexing noise floor per oversubscription unit.
+func DefaultBank() *Bank {
+	return &Bank{NumRegisters: 4, MultiplexNoise: 0.02}
+}
+
+// MultiplexFactor returns the time-sharing factor for monitoring n HPC
+// events: 1 when n fits the registers, n/NumRegisters otherwise.
+func (b *Bank) MultiplexFactor(n int) float64 {
+	if n <= b.NumRegisters {
+		return 1
+	}
+	return float64(n) / float64(b.NumRegisters)
+}
+
+// Sample is one monitoring observation: per-event counter values
+// normalized to events per second, plus the window they were taken
+// over.
+type Sample struct {
+	Values map[Event]float64
+	Window time.Duration
+}
+
+// Vector assembles the sample values for the given events, in order.
+// Missing events read as 0.
+func (s *Sample) Vector(events []Event) []float64 {
+	out := make([]float64, len(events))
+	for i, ev := range events {
+		out[i] = s.Values[ev]
+	}
+	return out
+}
+
+// Monitor collects workload signatures by reading a Source through a
+// register-constrained Bank. Readings are normalized by the sampling
+// window so that signatures generalize "across workloads regardless of
+// how long the sampling takes" (paper §3.3).
+type Monitor struct {
+	// Events is the set of events to monitor.
+	Events []Event
+	// Bank constrains simultaneous HPC monitoring; nil means
+	// DefaultBank.
+	Bank *Bank
+	// BaseNoise is the relative standard deviation of measurement
+	// noise even without multiplexing (run-to-run variation; the
+	// paper's Fig. 4 trials show small jitter per load level).
+	BaseNoise float64
+	// Rng supplies measurement noise; required.
+	Rng *rand.Rand
+}
+
+// NewMonitor returns a Monitor over the given events with the default
+// bank and a 1% base noise.
+func NewMonitor(events []Event, rng *rand.Rand) (*Monitor, error) {
+	if rng == nil {
+		return nil, errors.New("metrics: rng must be set")
+	}
+	if len(events) == 0 {
+		return nil, errors.New("metrics: no events to monitor")
+	}
+	return &Monitor{
+		Events:    append([]Event(nil), events...),
+		Bank:      DefaultBank(),
+		BaseNoise: 0.01,
+		Rng:       rng,
+	}, nil
+}
+
+// Sample reads the source over the given window and returns normalized
+// per-second values. HPC events beyond the register budget get extra
+// multiplexing noise; xentop metrics are software-read and only carry
+// base noise. Window must be positive.
+func (m *Monitor) Sample(src Source, window time.Duration) (*Sample, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("metrics: non-positive sampling window %v", window)
+	}
+	if src == nil {
+		return nil, errors.New("metrics: nil source")
+	}
+	bank := m.Bank
+	if bank == nil {
+		bank = DefaultBank()
+	}
+
+	nHPC := 0
+	for _, ev := range m.Events {
+		if IsHPC(ev) {
+			nHPC++
+		}
+	}
+	mux := bank.MultiplexFactor(nHPC)
+	muxNoise := 0.0
+	if mux > 1 {
+		muxNoise = bank.MultiplexNoise * (mux - 1)
+	}
+
+	rates := src.Rates()
+	values := make(map[Event]float64, len(m.Events))
+	for _, ev := range m.Events {
+		rate := rates[ev]
+		noise := m.BaseNoise
+		if IsHPC(ev) {
+			noise += muxNoise
+		}
+		// Noise shrinks with longer windows (more samples average
+		// out): scale by 1/sqrt(window seconds), floored at 1s.
+		secs := window.Seconds()
+		if secs < 1 {
+			secs = 1
+		}
+		sd := noise / math.Sqrt(secs)
+		observed := rate * (1 + m.Rng.NormFloat64()*sd)
+		if observed < 0 {
+			observed = 0
+		}
+		values[ev] = observed
+	}
+	return &Sample{Values: values, Window: window}, nil
+}
+
+// SampleN collects n samples and returns them; convenience for building
+// profiling datasets (the paper's "5 trials for each volume").
+func (m *Monitor) SampleN(src Source, window time.Duration, n int) ([]*Sample, error) {
+	if n <= 0 {
+		return nil, errors.New("metrics: n must be positive")
+	}
+	out := make([]*Sample, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := m.Sample(src, window)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

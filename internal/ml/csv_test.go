@@ -1,0 +1,55 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.NumAttributes() != d.NumAttributes() {
+		t.Fatalf("shape %dx%d -> %dx%d", d.Len(), d.NumAttributes(), back.Len(), back.NumAttributes())
+	}
+	for i := range d.X {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("row %d label %d -> %d", i, d.Y[i], back.Y[i])
+		}
+		for j := range d.X[i] {
+			if back.X[i][j] != d.X[i][j] {
+				t.Fatalf("cell (%d,%d): %v -> %v", i, j, d.X[i][j], back.X[i][j])
+			}
+		}
+	}
+	for j, name := range d.Attributes {
+		if back.Attributes[j] != name {
+			t.Fatalf("attribute %d: %q -> %q", j, name, back.Attributes[j])
+		}
+	}
+}
+
+func TestReadDatasetCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no class column", "a,b\n1,2\n"},
+		{"ragged row", "a,class\n1,0\n1,2,3\n"},
+		{"bad value", "a,class\nxyz,0\n"},
+		{"bad label", "a,class\n1,zero\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadDatasetCSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult is the outcome of a k-means run.
+type KMeansResult struct {
+	// K is the number of clusters.
+	K int
+	// Centroids holds one centroid per cluster.
+	Centroids [][]float64
+	// Assignments maps each input row to its cluster index.
+	Assignments []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations until convergence.
+	Iterations int
+}
+
+// KMeansConfig controls the clustering run.
+type KMeansConfig struct {
+	// K is the number of clusters; required by KMeans, ignored by
+	// KMeansAuto.
+	K int
+	// MaxIterations bounds Lloyd iterations (default 100).
+	MaxIterations int
+	// Restarts is the number of random restarts; the best (lowest
+	// inertia) run wins (default 5).
+	Restarts int
+	// Rng supplies randomness; required.
+	Rng *rand.Rand
+}
+
+func (c *KMeansConfig) defaults() error {
+	if c.Rng == nil {
+		return errors.New("ml: KMeansConfig.Rng must be set")
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 5
+	}
+	return nil
+}
+
+// KMeans clusters the rows of X into cfg.K clusters using Lloyd's
+// algorithm with k-means++ seeding and several random restarts. The
+// paper's "simple k means" corresponds to a single run; restarts only
+// improve stability.
+func KMeans(X [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 {
+		return nil, errors.New("ml: K must be positive")
+	}
+	if len(X) == 0 {
+		return nil, errors.New("ml: no rows to cluster")
+	}
+	if cfg.K > len(X) {
+		return nil, fmt.Errorf("ml: K=%d exceeds %d rows", cfg.K, len(X))
+	}
+	width := len(X[0])
+	for _, row := range X {
+		if len(row) != width {
+			return nil, errors.New("ml: ragged feature matrix")
+		}
+	}
+
+	var best *KMeansResult
+	for r := 0; r < cfg.Restarts; r++ {
+		res := kmeansOnce(X, cfg.K, cfg.MaxIterations, cfg.Rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(X [][]float64, k, maxIter int, rng *rand.Rand) *KMeansResult {
+	centroids := seedPlusPlus(X, k, rng)
+	assign := make([]int, len(X))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i, row := range X {
+			c := nearestCentroid(row, centroids)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		recomputeCentroids(X, assign, centroids, rng)
+	}
+
+	inertia := 0.0
+	for i, row := range X {
+		inertia += SquaredDistance(row, centroids[assign[i]])
+	}
+	return &KMeansResult{
+		K:           k,
+		Centroids:   centroids,
+		Assignments: assign,
+		Inertia:     inertia,
+		Iterations:  iters,
+	}
+}
+
+// seedPlusPlus picks k initial centroids using the k-means++ strategy:
+// the first uniformly, each subsequent one with probability proportional
+// to its squared distance from the nearest chosen centroid.
+func seedPlusPlus(X [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := X[rng.Intn(len(X))]
+	centroids = append(centroids, append([]float64(nil), first...))
+
+	dist := make([]float64, len(X))
+	for len(centroids) < k {
+		total := 0.0
+		for i, row := range X {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if sq := SquaredDistance(row, c); sq < d {
+					d = sq
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		var next []float64
+		if total == 0 {
+			// All points coincide with existing centroids; pick
+			// uniformly to keep going.
+			next = X[rng.Intn(len(X))]
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			idx := len(X) - 1
+			for i, d := range dist {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+			next = X[idx]
+		}
+		centroids = append(centroids, append([]float64(nil), next...))
+	}
+	return centroids
+}
+
+func nearestCentroid(row []float64, centroids [][]float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for c, centroid := range centroids {
+		if d := SquaredDistance(row, centroid); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// recomputeCentroids sets each centroid to the mean of its members. An
+// empty cluster is re-seeded with a random row so k is preserved.
+func recomputeCentroids(X [][]float64, assign []int, centroids [][]float64, rng *rand.Rand) {
+	width := len(X[0])
+	counts := make([]int, len(centroids))
+	sums := make([][]float64, len(centroids))
+	for c := range sums {
+		sums[c] = make([]float64, width)
+	}
+	for i, row := range X {
+		c := assign[i]
+		counts[c]++
+		for j, v := range row {
+			sums[c][j] += v
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			copy(centroids[c], X[rng.Intn(len(X))])
+			continue
+		}
+		for j := range centroids[c] {
+			centroids[c][j] = sums[c][j] / float64(counts[c])
+		}
+	}
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering, a
+// value in [-1, 1]; higher is better. Rows in singleton clusters get
+// silhouette 0, matching the common convention.
+func Silhouette(X [][]float64, assign []int, k int) float64 {
+	n := len(X)
+	if n == 0 || k <= 1 {
+		return 0
+	}
+	clusterRows := make([][]int, k)
+	for i, c := range assign {
+		clusterRows[c] = append(clusterRows[c], i)
+	}
+	total, counted := 0.0, 0
+	for i := range X {
+		own := assign[i]
+		if len(clusterRows[own]) <= 1 {
+			counted++
+			continue // silhouette 0
+		}
+		a := 0.0
+		for _, j := range clusterRows[own] {
+			if j != i {
+				a += EuclideanDistance(X[i], X[j])
+			}
+		}
+		a /= float64(len(clusterRows[own]) - 1)
+
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || len(clusterRows[c]) == 0 {
+				continue
+			}
+			d := 0.0
+			for _, j := range clusterRows[c] {
+				d += EuclideanDistance(X[i], X[j])
+			}
+			d /= float64(len(clusterRows[c]))
+			if d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			counted++
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// KMeansAuto runs k-means for every k in [minK, maxK] and returns the
+// clustering with the best silhouette score. This realizes the paper's
+// "the framework can automatically determine the number of classes".
+// maxK is clamped to the number of distinct rows.
+func KMeansAuto(X [][]float64, minK, maxK int, cfg KMeansConfig) (*KMeansResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if len(X) == 0 {
+		return nil, errors.New("ml: no rows to cluster")
+	}
+	if minK < 2 {
+		minK = 2
+	}
+	distinct := countDistinctRows(X)
+	if maxK > distinct {
+		maxK = distinct
+	}
+	if maxK > len(X) {
+		maxK = len(X)
+	}
+	if maxK < minK {
+		// Degenerate data: everything identical. One cluster.
+		one := cfg
+		one.K = 1
+		return KMeans(X, one)
+	}
+
+	var best *KMeansResult
+	bestScore := math.Inf(-1)
+	for k := minK; k <= maxK; k++ {
+		runCfg := cfg
+		runCfg.K = k
+		res, err := KMeans(X, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		score := Silhouette(X, res.Assignments, k)
+		if score > bestScore {
+			best, bestScore = res, score
+		}
+	}
+	return best, nil
+}
+
+func countDistinctRows(X [][]float64) int {
+	seen := make(map[string]struct{}, len(X))
+	for _, row := range X {
+		key := fmt.Sprintf("%v", row)
+		seen[key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// NearestRowToCentroid returns, for each cluster, the index of the row
+// closest to its centroid. The paper tunes "the instance that is closest
+// to the cluster's centroid". Clusters with no members map to -1.
+func NearestRowToCentroid(X [][]float64, res *KMeansResult) []int {
+	nearest := make([]int, res.K)
+	bestDist := make([]float64, res.K)
+	for c := range nearest {
+		nearest[c] = -1
+		bestDist[c] = math.Inf(1)
+	}
+	for i, row := range X {
+		c := res.Assignments[i]
+		if d := SquaredDistance(row, res.Centroids[c]); d < bestDist[c] {
+			bestDist[c] = d
+			nearest[c] = i
+		}
+	}
+	return nearest
+}

@@ -1,0 +1,214 @@
+package ml
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Classifier serialization: trained models marshal to a tagged JSON
+// envelope so a repository learned in one process can be reused in
+// another (DejaVu's cache is only useful if it survives restarts).
+
+// classifierEnvelope tags the concrete model type.
+type classifierEnvelope struct {
+	Kind  string          `json:"kind"`
+	Model json.RawMessage `json:"model"`
+}
+
+// MarshalClassifier serializes a trained C4.5 tree or naive Bayes
+// model.
+func MarshalClassifier(c Classifier) ([]byte, error) {
+	switch m := c.(type) {
+	case *C45Tree:
+		raw, err := json.Marshal(m.state())
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(classifierEnvelope{Kind: "c45", Model: raw})
+	case *NaiveBayes:
+		raw, err := json.Marshal(m.state())
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(classifierEnvelope{Kind: "bayes", Model: raw})
+	default:
+		return nil, fmt.Errorf("ml: cannot marshal classifier of type %T", c)
+	}
+}
+
+// UnmarshalClassifier restores a classifier serialized with
+// MarshalClassifier.
+func UnmarshalClassifier(data []byte) (Classifier, error) {
+	var env classifierEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: classifier envelope: %w", err)
+	}
+	switch env.Kind {
+	case "c45":
+		var st c45State
+		if err := json.Unmarshal(env.Model, &st); err != nil {
+			return nil, fmt.Errorf("ml: c45 state: %w", err)
+		}
+		return treeFromState(&st)
+	case "bayes":
+		var st bayesState
+		if err := json.Unmarshal(env.Model, &st); err != nil {
+			return nil, fmt.Errorf("ml: bayes state: %w", err)
+		}
+		return bayesFromState(&st)
+	default:
+		return nil, fmt.Errorf("ml: unknown classifier kind %q", env.Kind)
+	}
+}
+
+// --- C4.5 state ------------------------------------------------------
+
+type c45NodeState struct {
+	Leaf      bool          `json:"leaf"`
+	Label     int           `json:"label"`
+	Probs     []float64     `json:"probs,omitempty"`
+	Attr      int           `json:"attr,omitempty"`
+	Threshold float64       `json:"threshold,omitempty"`
+	Left      *c45NodeState `json:"left,omitempty"`
+	Right     *c45NodeState `json:"right,omitempty"`
+}
+
+type c45State struct {
+	NumClasses int           `json:"num_classes"`
+	Attributes []string      `json:"attributes"`
+	Root       *c45NodeState `json:"root"`
+}
+
+func (t *C45Tree) state() *c45State {
+	return &c45State{
+		NumClasses: t.numClasses,
+		Attributes: t.attributes,
+		Root:       nodeState(t.root),
+	}
+}
+
+func nodeState(n *c45Node) *c45NodeState {
+	if n == nil {
+		return nil
+	}
+	return &c45NodeState{
+		Leaf:      n.leaf,
+		Label:     n.label,
+		Probs:     n.probs,
+		Attr:      n.attr,
+		Threshold: n.threshold,
+		Left:      nodeState(n.left),
+		Right:     nodeState(n.right),
+	}
+}
+
+func treeFromState(st *c45State) (*C45Tree, error) {
+	if st.Root == nil {
+		return nil, errors.New("ml: c45 state has no root")
+	}
+	root, err := nodeFromState(st.Root, st.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	return &C45Tree{root: root, numClasses: st.NumClasses, attributes: st.Attributes}, nil
+}
+
+func nodeFromState(st *c45NodeState, numClasses int) (*c45Node, error) {
+	n := &c45Node{
+		leaf:      st.Leaf,
+		label:     st.Label,
+		probs:     st.Probs,
+		attr:      st.Attr,
+		threshold: st.Threshold,
+	}
+	if st.Label < 0 || (numClasses > 0 && st.Label >= numClasses) {
+		return nil, fmt.Errorf("ml: node label %d out of range", st.Label)
+	}
+	if n.probs == nil {
+		n.probs = make([]float64, numClasses)
+	}
+	if st.Leaf {
+		if st.Left != nil || st.Right != nil {
+			return nil, errors.New("ml: leaf node has children")
+		}
+		return n, nil
+	}
+	if st.Left == nil || st.Right == nil {
+		return nil, errors.New("ml: split node missing children")
+	}
+	var err error
+	if n.left, err = nodeFromState(st.Left, numClasses); err != nil {
+		return nil, err
+	}
+	if n.right, err = nodeFromState(st.Right, numClasses); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// --- Naive Bayes state -----------------------------------------------
+
+type bayesState struct {
+	NumClasses int         `json:"num_classes"`
+	NumAttrs   int         `json:"num_attrs"`
+	Priors     []float64   `json:"priors"`
+	Means      [][]float64 `json:"means"`
+	Variances  [][]float64 `json:"variances"`
+}
+
+func (nb *NaiveBayes) state() *bayesState {
+	return &bayesState{
+		NumClasses: nb.numClasses,
+		NumAttrs:   nb.numAttrs,
+		Priors:     nb.priors,
+		Means:      nb.means,
+		Variances:  nb.variances,
+	}
+}
+
+func bayesFromState(st *bayesState) (*NaiveBayes, error) {
+	if st.NumClasses <= 0 {
+		return nil, errors.New("ml: bayes state has no classes")
+	}
+	if len(st.Priors) != st.NumClasses || len(st.Means) != st.NumClasses ||
+		len(st.Variances) != st.NumClasses {
+		return nil, errors.New("ml: bayes state dimensions inconsistent")
+	}
+	for c := 0; c < st.NumClasses; c++ {
+		if len(st.Means[c]) != st.NumAttrs || len(st.Variances[c]) != st.NumAttrs {
+			return nil, fmt.Errorf("ml: bayes class %d has wrong attribute count", c)
+		}
+		for j, v := range st.Variances[c] {
+			if v <= 0 {
+				return nil, fmt.Errorf("ml: bayes class %d attr %d variance %v not positive", c, j, v)
+			}
+		}
+	}
+	return &NaiveBayes{
+		numClasses: st.NumClasses,
+		numAttrs:   st.NumAttrs,
+		priors:     st.Priors,
+		means:      st.Means,
+		variances:  st.Variances,
+	}, nil
+}
+
+// JSON float quirk: encoding/json rejects -Inf priors (absent classes).
+// Replace them with a large negative sentinel on marshal and restore on
+// unmarshal.
+
+const negInfSentinel = -1e308
+
+// MarshalJSON implements json.Marshaler for NaiveBayes state priors.
+func (st *bayesState) MarshalJSON() ([]byte, error) {
+	type alias bayesState
+	cp := *st
+	cp.Priors = append([]float64(nil), st.Priors...)
+	for i, p := range cp.Priors {
+		if p < negInfSentinel {
+			cp.Priors[i] = negInfSentinel
+		}
+	}
+	return json.Marshal((*alias)(&cp))
+}

@@ -1,0 +1,343 @@
+package proxy
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer answers each line with "echo:<line>".
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					fmt.Fprintf(conn, "echo:%s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+// recordingServer records everything it receives and never replies.
+type recordingServer struct {
+	ln   net.Listener
+	mu   sync.Mutex
+	data bytes.Buffer
+	wg   sync.WaitGroup
+}
+
+func newRecordingServer(t *testing.T) *recordingServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &recordingServer{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			rs.wg.Add(1)
+			go func() {
+				defer rs.wg.Done()
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := conn.Read(buf)
+					if n > 0 {
+						rs.mu.Lock()
+						rs.data.Write(buf[:n])
+						rs.mu.Unlock()
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return rs
+}
+
+func (rs *recordingServer) addr() string { return rs.ln.Addr().String() }
+func (rs *recordingServer) close()       { rs.ln.Close(); rs.wg.Wait() }
+func (rs *recordingServer) contents() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.data.String()
+}
+
+func (rs *recordingServer) waitFor(t *testing.T, want string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(rs.contents(), want) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("clone never received %q; got %q", want, rs.contents())
+}
+
+func startProxy(t *testing.T, cfg Config) *Proxy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve() }()
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func roundTrip(t *testing.T, addr, msg string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "%s\n", msg)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	out, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{ProductionAddr: "x"}); err == nil {
+		t.Error("missing listen addr should error")
+	}
+	if _, err := New(Config{ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("missing production addr should error")
+	}
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	p := startProxy(t, Config{ListenAddr: "127.0.0.1:0", ProductionAddr: prod})
+
+	got := roundTrip(t, p.Addr().String(), "hello")
+	if got != "echo:hello\n" {
+		t.Errorf("round trip=%q want %q", got, "echo:hello\n")
+	}
+	st := p.Stats()
+	if st.Sessions != 1 || st.Duplicated != 0 {
+		t.Errorf("stats=%+v", st)
+	}
+	if st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Errorf("byte counters not updated: %+v", st)
+	}
+}
+
+func TestProxyDuplicatesToClone(t *testing.T) {
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	clone := newRecordingServer(t)
+	defer clone.close()
+
+	p := startProxy(t, Config{
+		ListenAddr:     "127.0.0.1:0",
+		ProductionAddr: prod,
+		CloneAddr:      clone.addr(),
+	})
+	got := roundTrip(t, p.Addr().String(), "dup-me")
+	if got != "echo:dup-me\n" {
+		t.Errorf("client response corrupted by duplication: %q", got)
+	}
+	clone.waitFor(t, "dup-me")
+	st := p.Stats()
+	if st.Duplicated != 1 {
+		t.Errorf("Duplicated=%d want 1", st.Duplicated)
+	}
+	if st.BytesDuplicated == 0 {
+		t.Error("BytesDuplicated not counted")
+	}
+}
+
+func TestProxyCloneRepliesDropped(t *testing.T) {
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	// Clone that replies with garbage: the client must never see it.
+	cloneEcho, stopClone := echoServer(t)
+	defer stopClone()
+
+	p := startProxy(t, Config{
+		ListenAddr:     "127.0.0.1:0",
+		ProductionAddr: prod,
+		CloneAddr:      cloneEcho,
+	})
+	got := roundTrip(t, p.Addr().String(), "x")
+	if got != "echo:x\n" {
+		t.Errorf("clone reply leaked to client: %q", got)
+	}
+}
+
+func TestProxySampling(t *testing.T) {
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	clone := newRecordingServer(t)
+	defer clone.close()
+
+	p := startProxy(t, Config{
+		ListenAddr:     "127.0.0.1:0",
+		ProductionAddr: prod,
+		CloneAddr:      clone.addr(),
+		SampleEvery:    3,
+	})
+	for i := 0; i < 9; i++ {
+		roundTrip(t, p.Addr().String(), fmt.Sprintf("s%d", i))
+	}
+	st := p.Stats()
+	if st.Sessions != 9 {
+		t.Fatalf("Sessions=%d want 9", st.Sessions)
+	}
+	if st.Duplicated != 3 {
+		t.Errorf("Duplicated=%d want 3 (1 in 3 sessions)", st.Duplicated)
+	}
+}
+
+func TestProxyDeadCloneDoesNotBreakProduction(t *testing.T) {
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	// Clone address that refuses connections.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	p := startProxy(t, Config{
+		ListenAddr:     "127.0.0.1:0",
+		ProductionAddr: prod,
+		CloneAddr:      deadAddr,
+	})
+	got := roundTrip(t, p.Addr().String(), "still-works")
+	if got != "echo:still-works\n" {
+		t.Errorf("production affected by dead clone: %q", got)
+	}
+	if p.Stats().CloneErrors != 1 {
+		t.Errorf("CloneErrors=%d want 1", p.Stats().CloneErrors)
+	}
+}
+
+func TestProxyConcurrentSessions(t *testing.T) {
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	clone := newRecordingServer(t)
+	defer clone.close()
+	p := startProxy(t, Config{
+		ListenAddr:     "127.0.0.1:0",
+		ProductionAddr: prod,
+		CloneAddr:      clone.addr(),
+	})
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("c%d", i)
+			conn, err := net.Dial("tcp", p.Addr().String())
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer conn.Close()
+			fmt.Fprintf(conn, "%s\n", msg)
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.CloseWrite()
+			}
+			out, _ := io.ReadAll(conn)
+			if string(out) != "echo:"+msg+"\n" {
+				errs <- fmt.Sprintf("got %q", out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if p.Stats().Sessions != 32 {
+		t.Errorf("Sessions=%d want 32", p.Stats().Sessions)
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	p, err := New(Config{ListenAddr: "127.0.0.1:0", ProductionAddr: prod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve() }()
+	if err := p.Close(); err != nil {
+		t.Errorf("first close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestProxyOverheadSmall(t *testing.T) {
+	// §4.4: duplication must add only small latency (paper: ~3 ms on
+	// a real testbed; on loopback we only assert it stays modest).
+	prod, stopProd := echoServer(t)
+	defer stopProd()
+	clone := newRecordingServer(t)
+	defer clone.close()
+
+	direct := startProxy(t, Config{ListenAddr: "127.0.0.1:0", ProductionAddr: prod})
+	duplicating := startProxy(t, Config{
+		ListenAddr:     "127.0.0.1:0",
+		ProductionAddr: prod,
+		CloneAddr:      clone.addr(),
+	})
+
+	measure := func(addr string) time.Duration {
+		// Warm up.
+		roundTrip(t, addr, "warm")
+		start := time.Now()
+		for i := 0; i < 50; i++ {
+			roundTrip(t, addr, "ping")
+		}
+		return time.Since(start) / 50
+	}
+	base := measure(direct.Addr().String())
+	dup := measure(duplicating.Addr().String())
+	overhead := dup - base
+	if overhead > 10*time.Millisecond {
+		t.Errorf("duplication overhead %v too high (base %v, dup %v)", overhead, base, dup)
+	}
+}

@@ -1,0 +1,198 @@
+// Package queueing implements exact Mean Value Analysis (MVA) for
+// single-class closed product-form queueing networks — the analytical
+// machinery behind the modeling-based resource managers DejaVu is
+// positioned against (the paper's intro and related work cite
+// closed queueing network models with MVA for multi-tier
+// applications, e.g. Urgaonkar et al.).
+//
+// A closed network has N clients cycling through a think state (mean
+// think time Z) and a set of queueing stations (the service tiers),
+// each with a per-visit service demand D_i. Exact MVA computes, for
+// each population n <= N:
+//
+//	R_i(n) = D_i * (1 + Q_i(n-1))   response time at station i
+//	R(n)   = sum_i R_i(n)
+//	X(n)   = n / (Z + R(n))          system throughput
+//	Q_i(n) = X(n) * R_i(n)           station queue length
+package queueing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Network is a single-class closed queueing network.
+type Network struct {
+	// Demands holds the total service demand (seconds) per client
+	// visit at each station.
+	Demands []float64
+	// ThinkTime is the mean client think time Z (seconds).
+	ThinkTime float64
+}
+
+// Result reports steady-state quantities for one population size.
+type Result struct {
+	// Clients is the population n.
+	Clients int
+	// ResponseTime is R(n) in seconds (think time excluded).
+	ResponseTime float64
+	// Throughput is X(n) in requests per second.
+	Throughput float64
+	// QueueLengths holds Q_i(n) per station.
+	QueueLengths []float64
+	// Utilizations holds U_i(n) = X(n) * D_i per station.
+	Utilizations []float64
+}
+
+// Validate checks the network parameters.
+func (nw *Network) Validate() error {
+	if len(nw.Demands) == 0 {
+		return errors.New("queueing: network needs at least one station")
+	}
+	for i, d := range nw.Demands {
+		if d < 0 {
+			return fmt.Errorf("queueing: negative demand %v at station %d", d, i)
+		}
+	}
+	if nw.ThinkTime < 0 {
+		return errors.New("queueing: negative think time")
+	}
+	return nil
+}
+
+// Solve runs exact MVA for population n and returns the steady state.
+func (nw *Network) Solve(n int) (*Result, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, errors.New("queueing: negative population")
+	}
+	k := len(nw.Demands)
+	queues := make([]float64, k)
+	res := &Result{Clients: n, QueueLengths: make([]float64, k), Utilizations: make([]float64, k)}
+	if n == 0 {
+		return res, nil
+	}
+	var response, throughput float64
+	stationR := make([]float64, k)
+	for pop := 1; pop <= n; pop++ {
+		response = 0
+		for i := 0; i < k; i++ {
+			stationR[i] = nw.Demands[i] * (1 + queues[i])
+			response += stationR[i]
+		}
+		throughput = float64(pop) / (nw.ThinkTime + response)
+		for i := 0; i < k; i++ {
+			queues[i] = throughput * stationR[i]
+		}
+	}
+	res.ResponseTime = response
+	res.Throughput = throughput
+	copy(res.QueueLengths, queues)
+	for i, d := range nw.Demands {
+		res.Utilizations[i] = throughput * d
+	}
+	return res, nil
+}
+
+// SolveSeries returns results for populations 1..n, useful for
+// capacity planning sweeps.
+func (nw *Network) SolveSeries(n int) ([]*Result, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("queueing: population must be positive")
+	}
+	out := make([]*Result, 0, n)
+	// Re-run incrementally to reuse the recurrence.
+	k := len(nw.Demands)
+	queues := make([]float64, k)
+	stationR := make([]float64, k)
+	for pop := 1; pop <= n; pop++ {
+		response := 0.0
+		for i := 0; i < k; i++ {
+			stationR[i] = nw.Demands[i] * (1 + queues[i])
+			response += stationR[i]
+		}
+		throughput := float64(pop) / (nw.ThinkTime + response)
+		r := &Result{
+			Clients:      pop,
+			ResponseTime: response,
+			Throughput:   throughput,
+			QueueLengths: make([]float64, k),
+			Utilizations: make([]float64, k),
+		}
+		for i := 0; i < k; i++ {
+			queues[i] = throughput * stationR[i]
+			r.QueueLengths[i] = queues[i]
+			r.Utilizations[i] = throughput * nw.Demands[i]
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BottleneckDemand returns the largest station demand D_max, which
+// bounds the achievable throughput by 1/D_max.
+func (nw *Network) BottleneckDemand() float64 {
+	max := 0.0
+	for _, d := range nw.Demands {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinClientsForSaturation returns the approximate population N* =
+// (Z + sum D) / D_max beyond which the bottleneck saturates.
+func (nw *Network) MinClientsForSaturation() float64 {
+	dmax := nw.BottleneckDemand()
+	if dmax == 0 {
+		return 0
+	}
+	total := nw.ThinkTime
+	for _, d := range nw.Demands {
+		total += d
+	}
+	return total / dmax
+}
+
+// RequiredCapacityFactor returns the smallest factor c (capacity
+// multiplier applied to every station, i.e. demands become D_i/c) such
+// that the network serves n clients with response time at most
+// maxResponse. It binary-searches c in [lo, hi]; returns hi when even
+// hi misses the target.
+func (nw *Network) RequiredCapacityFactor(n int, maxResponse, lo, hi float64) (float64, error) {
+	if err := nw.Validate(); err != nil {
+		return 0, err
+	}
+	if maxResponse <= 0 || lo <= 0 || hi < lo {
+		return 0, errors.New("queueing: bad search parameters")
+	}
+	meets := func(c float64) bool {
+		scaled := &Network{Demands: make([]float64, len(nw.Demands)), ThinkTime: nw.ThinkTime}
+		for i, d := range nw.Demands {
+			scaled.Demands[i] = d / c
+		}
+		r, err := scaled.Solve(n)
+		if err != nil {
+			return false
+		}
+		return r.ResponseTime <= maxResponse
+	}
+	if !meets(hi) {
+		return hi, nil
+	}
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if meets(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

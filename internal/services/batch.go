@@ -1,0 +1,77 @@
+package services
+
+import (
+	"errors"
+	"time"
+)
+
+// BatchJob models a long-running batch workload — the paper's §3.7
+// extension ("for Hadoop map tasks, the SLO could be their
+// user-provided expected running times"). Tasks are embarrassingly
+// parallel; a task's duration scales inversely with the capacity share
+// it receives and stretches under co-located interference.
+type BatchJob struct {
+	// Name identifies the job.
+	Name string
+	// Tasks is the number of tasks in the job.
+	Tasks int
+	// BaseTaskDuration is one task's running time on a full,
+	// uncontended capacity unit.
+	BaseTaskDuration time.Duration
+	// ExpectedTaskDuration is the user-provided SLO on per-task
+	// running time (possibly mis-estimated).
+	ExpectedTaskDuration time.Duration
+	// Tolerance is the acceptable overrun factor before the SLO
+	// counts as violated (default 1.1 via NewBatchJob).
+	Tolerance float64
+}
+
+// NewBatchJob validates and returns a batch job.
+func NewBatchJob(name string, tasks int, base, expected time.Duration) (*BatchJob, error) {
+	if tasks <= 0 {
+		return nil, errors.New("services: batch job needs tasks")
+	}
+	if base <= 0 || expected <= 0 {
+		return nil, errors.New("services: batch durations must be positive")
+	}
+	return &BatchJob{
+		Name:                 name,
+		Tasks:                tasks,
+		BaseTaskDuration:     base,
+		ExpectedTaskDuration: expected,
+		Tolerance:            1.1,
+	}, nil
+}
+
+// TaskDuration returns one task's running time given the capacity
+// units assigned per task and the co-located contention fraction.
+func (j *BatchJob) TaskDuration(unitsPerTask, interference float64) time.Duration {
+	if unitsPerTask <= 0 {
+		return 1 << 62 // effectively never finishes
+	}
+	eff := unitsPerTask * (1 - interference)
+	if eff <= 0 {
+		return 1 << 62
+	}
+	return time.Duration(float64(j.BaseTaskDuration) / eff)
+}
+
+// SLOMet reports whether an observed task duration satisfies the
+// user-provided expectation within tolerance.
+func (j *BatchJob) SLOMet(observed time.Duration) bool {
+	tol := j.Tolerance
+	if tol <= 0 {
+		tol = 1.1
+	}
+	return float64(observed) <= float64(j.ExpectedTaskDuration)*tol
+}
+
+// JobDuration returns the makespan of the whole job when run with the
+// given parallelism (tasks in flight) and per-task capacity.
+func (j *BatchJob) JobDuration(parallelism int, unitsPerTask, interference float64) time.Duration {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	waves := (j.Tasks + parallelism - 1) / parallelism
+	return time.Duration(waves) * j.TaskDuration(unitsPerTask, interference)
+}

@@ -1,0 +1,64 @@
+package services
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewBatchJobValidation(t *testing.T) {
+	if _, err := NewBatchJob("j", 0, time.Minute, time.Minute); err == nil {
+		t.Error("zero tasks should error")
+	}
+	if _, err := NewBatchJob("j", 1, 0, time.Minute); err == nil {
+		t.Error("zero base duration should error")
+	}
+	if _, err := NewBatchJob("j", 1, time.Minute, 0); err == nil {
+		t.Error("zero expected duration should error")
+	}
+	if _, err := NewBatchJob("j", 10, time.Minute, time.Minute); err != nil {
+		t.Errorf("valid job: %v", err)
+	}
+}
+
+func TestBatchTaskDuration(t *testing.T) {
+	job, _ := NewBatchJob("j", 10, 10*time.Minute, 12*time.Minute)
+	if got := job.TaskDuration(1, 0); got != 10*time.Minute {
+		t.Errorf("full unit=%v want 10m", got)
+	}
+	if got := job.TaskDuration(0.5, 0); got != 20*time.Minute {
+		t.Errorf("half unit=%v want 20m", got)
+	}
+	// 20% interference stretches the task by 1/(1-0.2).
+	if got := job.TaskDuration(1, 0.2); got != time.Duration(float64(10*time.Minute)/0.8) {
+		t.Errorf("interfered=%v", got)
+	}
+	// Degenerate capacity never finishes.
+	if got := job.TaskDuration(0, 0); got < time.Hour*1e6 {
+		t.Errorf("zero capacity should be effectively infinite, got %v", got)
+	}
+}
+
+func TestBatchSLOMet(t *testing.T) {
+	job, _ := NewBatchJob("j", 10, 10*time.Minute, 10*time.Minute)
+	if !job.SLOMet(10 * time.Minute) {
+		t.Error("exact expectation should pass")
+	}
+	if !job.SLOMet(10*time.Minute + 59*time.Second) {
+		t.Error("within 10% tolerance should pass")
+	}
+	if job.SLOMet(12 * time.Minute) {
+		t.Error("20% overrun should fail")
+	}
+}
+
+func TestBatchJobDuration(t *testing.T) {
+	job, _ := NewBatchJob("j", 10, 10*time.Minute, 12*time.Minute)
+	// 10 tasks at parallelism 4 -> 3 waves.
+	if got := job.JobDuration(4, 1, 0); got != 30*time.Minute {
+		t.Errorf("makespan=%v want 30m", got)
+	}
+	// Parallelism 0 treated as 1: 10 waves.
+	if got := job.JobDuration(0, 1, 0); got != 100*time.Minute {
+		t.Errorf("serial makespan=%v want 100m", got)
+	}
+}

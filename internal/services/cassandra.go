@@ -1,0 +1,144 @@
+package services
+
+import (
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/metrics"
+)
+
+// Cassandra simulates the paper's distributed key-value store under
+// YCSB load (scale-out case study, §4.1): CPU- and memory-intensive,
+// update-heavy (95% writes / 5% reads), SLO latency 60 ms, scaled
+// horizontally from 2 to 10 large instances. Scaling triggers
+// re-partitioning: "Cassandra takes a long time to stabilize (e.g.,
+// tens of minutes) after DejaVu adjusts the number of running
+// instances".
+type Cassandra struct {
+	// BaseLatencyMs is the unloaded response latency.
+	BaseLatencyMs float64
+	// PerUnitClients is the client capacity of one large instance at
+	// utilization 1.
+	PerUnitClients float64
+	// MaxInstances bounds scale-out (paper: 10 large instances).
+	MaxInstances int
+	// MinInstances bounds scale-in (paper: 2).
+	MinInstances int
+	// Repartition is the post-scaling stabilization period.
+	Repartition time.Duration
+}
+
+// NewCassandra returns the configuration used across the evaluation.
+// With base latency 15 ms, the 60 ms SLO is met up to utilization 0.75
+// (15/(1-0.75) = 60): the tuner must keep rho at or below 0.75.
+func NewCassandra() *Cassandra {
+	return &Cassandra{
+		BaseLatencyMs:  15,
+		PerUnitClients: 67,
+		MaxInstances:   10,
+		MinInstances:   2,
+		Repartition:    20 * time.Minute,
+	}
+}
+
+// Name implements Service.
+func (c *Cassandra) Name() string { return "cassandra" }
+
+// SLO implements Service: 60 ms latency bound (paper §4.1).
+func (c *Cassandra) SLO() SLO { return SLO{MaxLatencyMs: 60} }
+
+// DefaultMix implements Service: YCSB update-heavy, 95% writes.
+func (c *Cassandra) DefaultMix() Mix {
+	return Mix{
+		Name:         "update-heavy",
+		ReadFraction: 0.05,
+		CPUWeight:    1.2,
+		FPWeight:     0.2,
+		MemWeight:    1.4,
+		IOWeight:     1.0,
+	}
+}
+
+// ReadMostlyMix is an alternative YCSB mix used by tests and examples
+// to exercise workload-type (not just volume) changes.
+func (c *Cassandra) ReadMostlyMix() Mix {
+	return Mix{
+		Name:         "read-mostly",
+		ReadFraction: 0.95,
+		DemandFactor: 0.75,
+		CPUWeight:    0.8,
+		FPWeight:     0.2,
+		MemWeight:    1.0,
+		IOWeight:     0.7,
+	}
+}
+
+// Perf implements Service.
+func (c *Cassandra) Perf(w Workload, capacity float64) Perf {
+	rho := utilization(w, capacity, c.PerUnitClients)
+	lat := mm1Latency(c.BaseLatencyMs, rho)
+	return Perf{LatencyMs: lat, QoSPercent: 100, Utilization: rho}
+}
+
+// MetricRates implements Service. The informative events respond to
+// per-instance volume and the read/write split; everything else stays
+// at its background rate.
+func (c *Cassandra) MetricRates(w Workload, instances int) map[metrics.Event]float64 {
+	n := float64(validateInstances(instances))
+	v := w.Clients / n // per-instance volume
+	m := w.Mix
+	rates := baseRates()
+
+	write := 1 - m.ReadFraction
+	rates[metrics.EvFlopsRate] = 1e4 * v * m.FPWeight
+	rates[metrics.EvCPUClkUnhalt] = 2e6*v*m.CPUWeight + 1e7
+	rates[metrics.EvL2St] = 5e4 * v * write * m.MemWeight
+	rates[metrics.EvLoadBlock] = 3e4 * v * m.ReadFraction * m.MemWeight
+	rates[metrics.EvStoreBlock] = 4e4 * v * write * m.MemWeight
+	rates[metrics.EvPageWalks] = 2e4 * v * m.MemWeight
+	rates[metrics.EvL2Ads] = 1e4 * v * (0.5 + write)
+	rates[metrics.EvL2RejectBusq] = 10 * v * v * m.MemWeight // contention grows superlinearly
+	rates[metrics.EvBusqEmpty] = clampMin(5e6-3e4*v*m.CPUWeight, 0)
+	rates[metrics.EvL1DRepl] = 2.5e4 * v * m.MemWeight
+	rates[metrics.EvDTLBMiss] = 1.2e3 * v * m.MemWeight
+
+	rates[metrics.EvXenCPU] = clampMax(100*v/c.PerUnitClients, 100)
+	rates[metrics.EvXenMem] = 2.5e5 + 500*v*m.MemWeight
+	rates[metrics.EvXenNetTx] = 40 * v
+	rates[metrics.EvXenNetRx] = 45 * v
+	rates[metrics.EvXenVBDRd] = 20 * v * m.ReadFraction * m.IOWeight
+	rates[metrics.EvXenVBDWr] = 25 * v * write * m.IOWeight
+	return rates
+}
+
+// MaxAllocation implements Service: 10 large instances.
+func (c *Cassandra) MaxAllocation() cloud.Allocation {
+	return cloud.Allocation{Type: cloud.Large, Count: c.MaxInstances}
+}
+
+// MinAllocation is the smallest configuration the evaluation uses.
+func (c *Cassandra) MinAllocation() cloud.Allocation {
+	return cloud.Allocation{Type: cloud.Large, Count: c.MinInstances}
+}
+
+// ClientsPerUnit implements Service.
+func (c *Cassandra) ClientsPerUnit() float64 { return c.PerUnitClients }
+
+// StabilizationPeriod implements Service.
+func (c *Cassandra) StabilizationPeriod() time.Duration { return c.Repartition }
+
+func clampMin(x, lo float64) float64 {
+	if x < lo {
+		return lo
+	}
+	return x
+}
+
+func clampMax(x, hi float64) float64 {
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+var _ Service = (*Cassandra)(nil)

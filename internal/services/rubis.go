@@ -1,0 +1,117 @@
+package services
+
+import (
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/metrics"
+)
+
+// RUBiS simulates the eBay-clone three-tier application behind the
+// paper's motivating experiment (Fig. 1) and the proxy-overhead
+// measurement (§4.4): an Apache front end, a Tomcat application
+// server, and a MySQL database, with 26 client interactions whose
+// frequencies come from the RUBiS transition tables. For signature
+// purposes the interaction mix is summarized by the browse (read) /
+// bid+sell (write) split.
+type RUBiS struct {
+	// PerUnitClients is the client capacity of one large unit at
+	// utilization 1.
+	PerUnitClients float64
+	// BaseLatencyMs is the unloaded end-to-end latency across the
+	// three tiers.
+	BaseLatencyMs float64
+	// MaxInstances bounds scale-out.
+	MaxInstances int
+}
+
+// NewRUBiS returns the evaluation configuration. With base latency
+// 25 ms, the 150 ms SLO of Figure 1 is met up to utilization 5/6.
+func NewRUBiS() *RUBiS {
+	return &RUBiS{
+		PerUnitClients: 100,
+		BaseLatencyMs:  25,
+		MaxInstances:   10,
+	}
+}
+
+// Name implements Service.
+func (r *RUBiS) Name() string { return "rubis" }
+
+// SLO implements Service: the 150 ms latency line of Figure 1.
+func (r *RUBiS) SLO() SLO { return SLO{MaxLatencyMs: 150} }
+
+// DefaultMix implements Service: the standard bidding mix (read-heavy
+// browsing with a bidding/selling write component).
+func (r *RUBiS) DefaultMix() Mix {
+	return Mix{
+		Name:         "bidding",
+		ReadFraction: 0.85,
+		CPUWeight:    1.0,
+		FPWeight:     0.4,
+		MemWeight:    1.0,
+		IOWeight:     0.6,
+	}
+}
+
+// BrowsingMix is RUBiS's read-only mix.
+func (r *RUBiS) BrowsingMix() Mix {
+	return Mix{Name: "browsing", ReadFraction: 1.0, CPUWeight: 0.8, FPWeight: 0.3, MemWeight: 0.9, IOWeight: 0.5, DemandFactor: 0.85}
+}
+
+// SellingMix is a write-heavy mix (bidding and selling interactions).
+func (r *RUBiS) SellingMix() Mix {
+	return Mix{Name: "selling", ReadFraction: 0.55, CPUWeight: 1.2, FPWeight: 0.5, MemWeight: 1.2, IOWeight: 0.9, DemandFactor: 1.2}
+}
+
+// Perf implements Service.
+func (r *RUBiS) Perf(w Workload, capacity float64) Perf {
+	rho := utilization(w, capacity, r.PerUnitClients)
+	lat := mm1Latency(r.BaseLatencyMs, rho)
+	return Perf{LatencyMs: lat, QoSPercent: 100, Utilization: rho}
+}
+
+// MetricRates implements Service. The mapping is built so that the
+// eight Table 1 counters carry the workload information: CPU
+// (cpu_clk_unhalted), cache (l2_ads, l2_reject_busq, l2_st), memory
+// (load_block, store_block, page_walks), and the bus queue
+// (busq_empty).
+func (r *RUBiS) MetricRates(w Workload, instances int) map[metrics.Event]float64 {
+	n := float64(validateInstances(instances))
+	v := w.Clients / n
+	m := w.Mix
+	rates := baseRates()
+
+	write := 1 - m.ReadFraction
+	rates[metrics.EvCPUClkUnhalt] = 1.8e6*v*m.CPUWeight + 9e6
+	rates[metrics.EvL2Ads] = 2e4 * v * m.MemWeight
+	rates[metrics.EvL2RejectBusq] = 12 * v * v * m.MemWeight
+	rates[metrics.EvL2St] = 4e4 * v * write * m.MemWeight
+	rates[metrics.EvLoadBlock] = 2.5e4 * v * m.ReadFraction * m.MemWeight
+	rates[metrics.EvStoreBlock] = 3e4 * v * write * m.MemWeight
+	rates[metrics.EvPageWalks] = 1.5e4 * v * m.MemWeight
+	rates[metrics.EvBusqEmpty] = clampMin(6e6-4e4*v*m.CPUWeight, 0)
+	rates[metrics.EvFlopsRate] = 8e3 * v * m.FPWeight
+
+	rates[metrics.EvXenCPU] = clampMax(100*v/r.PerUnitClients, 100)
+	rates[metrics.EvXenMem] = 2e5 + 400*v*m.MemWeight
+	rates[metrics.EvXenNetTx] = 60 * v
+	rates[metrics.EvXenNetRx] = 25 * v
+	rates[metrics.EvXenVBDRd] = 30 * v * m.ReadFraction * m.IOWeight
+	rates[metrics.EvXenVBDWr] = 15 * v * write * m.IOWeight
+	return rates
+}
+
+// MaxAllocation implements Service.
+func (r *RUBiS) MaxAllocation() cloud.Allocation {
+	return cloud.Allocation{Type: cloud.Large, Count: r.MaxInstances}
+}
+
+// ClientsPerUnit implements Service.
+func (r *RUBiS) ClientsPerUnit() float64 { return r.PerUnitClients }
+
+// StabilizationPeriod implements Service: the web tiers are stateless
+// and MySQL replicas are pre-warmed in the evaluation.
+func (r *RUBiS) StabilizationPeriod() time.Duration { return 0 }
+
+var _ Service = (*RUBiS)(nil)

@@ -1,0 +1,289 @@
+// Package sim is the discrete-time engine that drives the evaluation:
+// it replays a load trace against a simulated service deployed on the
+// simulated cloud, invokes a resource-management controller, and
+// accounts latency/QoS, SLO violations, provisioning cost, and
+// adaptation episodes — everything the paper's Figures 6–11 plot.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/services"
+	"repro/internal/trace"
+)
+
+// Observation is what a controller sees at each control step.
+type Observation struct {
+	// Now is the offset from the simulation start.
+	Now time.Duration
+	// Workload is the currently offered workload.
+	Workload services.Workload
+	// Perf is the service performance measured over the last step.
+	Perf services.Perf
+	// SLOViolated reports whether Perf violates the service SLO.
+	SLOViolated bool
+	// Allocation is the allocation currently serving.
+	Allocation cloud.Allocation
+	// TargetAllocation is the most recently requested allocation
+	// (may still be warming up).
+	TargetAllocation cloud.Allocation
+	// InTransition reports whether a change is still warming up.
+	InTransition bool
+}
+
+// Action is a controller's response to an observation.
+type Action struct {
+	// Target, when non-nil, requests a new allocation.
+	Target *cloud.Allocation
+	// DecisionTime is how long the controller needed to produce this
+	// decision (DejaVu: ~10 s of signature collection; tuning: minutes).
+	// The allocation request takes effect only after this delay.
+	DecisionTime time.Duration
+}
+
+// Controller is a resource-management policy under evaluation.
+type Controller interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// Step is invoked once per simulation step.
+	Step(obs Observation) (Action, error)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Service is the simulated service.
+	Service services.Service
+	// Trace provides the offered load, already scaled to client
+	// counts (not normalized percent).
+	Trace *trace.Trace
+	// Mix is the request mix; MixFn, when set, overrides it per
+	// time step (for workload-type experiments).
+	Mix   services.Mix
+	MixFn func(now time.Duration) services.Mix
+	// Controller is the policy under test.
+	Controller Controller
+	// Step is the simulation step (default 1 minute).
+	Step time.Duration
+	// Initial is the starting allocation.
+	Initial cloud.Allocation
+	// Interference optionally sets the co-located contention
+	// fraction over time; nil means no interference.
+	Interference func(now time.Duration) float64
+	// StabilizationPenalty is the extra relative latency right after
+	// an allocation change completes, decaying over the service's
+	// stabilization period (default 0.3 = +30%).
+	StabilizationPenalty float64
+}
+
+// StepRecord is one simulation step's outcome.
+type StepRecord struct {
+	Now          time.Duration
+	Clients      float64
+	LatencyMs    float64
+	QoSPercent   float64
+	Utilization  float64
+	Allocation   cloud.Allocation
+	InTransition bool
+	SLOViolated  bool
+	Interference float64
+}
+
+// Episode is one adaptation episode: from the controller issuing a
+// change until the deployment settles.
+type Episode struct {
+	// StartOffset is when the controller issued the first change.
+	StartOffset time.Duration
+	// Duration is how long until the new allocation was serving.
+	Duration time.Duration
+	// Resizes is the number of allocation requests in the episode.
+	Resizes int
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Controller string
+	Service    string
+	Records    []StepRecord
+	// TotalCost is the provisioning bill over the run (USD).
+	TotalCost float64
+	// SLOViolationFraction is the fraction of steps violating the SLO.
+	SLOViolationFraction float64
+	// Episodes lists adaptation episodes.
+	Episodes []Episode
+	// Decisions is the number of allocation-change requests issued.
+	Decisions int
+}
+
+// MeanAdaptation returns the mean episode duration, or 0 when no
+// episodes occurred.
+func (r *Result) MeanAdaptation() time.Duration {
+	if len(r.Episodes) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, e := range r.Episodes {
+		total += e.Duration
+	}
+	return total / time.Duration(len(r.Episodes))
+}
+
+// MeanAllocatedInstances returns the time-averaged instance count.
+func (r *Result) MeanAllocatedInstances() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, rec := range r.Records {
+		sum += float64(rec.Allocation.Count)
+	}
+	return sum / float64(len(r.Records))
+}
+
+// CostSavingsVs returns the relative cost saving of this run against a
+// reference cost (e.g. the fixed-maximum allocation), in [0, 1].
+func (r *Result) CostSavingsVs(referenceCost float64) float64 {
+	if referenceCost <= 0 {
+		return 0
+	}
+	s := 1 - r.TotalCost/referenceCost
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Service == nil {
+		return nil, errors.New("sim: Service must be set")
+	}
+	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
+		return nil, errors.New("sim: Trace must be non-empty")
+	}
+	if cfg.Controller == nil {
+		return nil, errors.New("sim: Controller must be set")
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = time.Minute
+	}
+	if cfg.StabilizationPenalty == 0 {
+		cfg.StabilizationPenalty = 0.3
+	}
+	if cfg.Mix.Name == "" && cfg.MixFn == nil {
+		cfg.Mix = cfg.Service.DefaultMix()
+	}
+	dep, err := cloud.NewDeployment(cfg.Initial)
+	if err != nil {
+		return nil, fmt.Errorf("sim: initial allocation: %w", err)
+	}
+
+	slo := cfg.Service.SLO()
+	stab := cfg.Service.StabilizationPeriod()
+	total := cfg.Trace.Duration()
+
+	res := &Result{Controller: cfg.Controller.Name(), Service: cfg.Service.Name()}
+	violations := 0
+
+	// Episode tracking.
+	var episodeStart time.Duration = -1
+	episodeResizes := 0
+	var lastChangeEffective time.Duration = -1 << 62
+
+	prevAlloc := cfg.Initial
+	for now := time.Duration(0); now < total; now += cfg.Step {
+		mix := cfg.Mix
+		if cfg.MixFn != nil {
+			mix = cfg.MixFn(now)
+		}
+		w := services.Workload{Clients: cfg.Trace.At(now), Mix: mix}
+
+		interf := 0.0
+		if cfg.Interference != nil {
+			interf = cfg.Interference(now)
+			if err := dep.SetInterference(cloud.Interference{Fraction: interf}); err != nil {
+				return nil, fmt.Errorf("sim: interference at %v: %w", now, err)
+			}
+		}
+
+		capacity := dep.EffectiveCapacity(now)
+		perf := cfg.Service.Perf(w, capacity)
+
+		// Allocation-change transients: re-partitioning and warm-up.
+		active := dep.Allocation(now)
+		if !active.Equal(prevAlloc) {
+			lastChangeEffective = now
+			prevAlloc = active
+		}
+		if stab > 0 && now >= lastChangeEffective && now < lastChangeEffective+stab {
+			frac := 1 - float64(now-lastChangeEffective)/float64(stab)
+			perf.LatencyMs *= 1 + cfg.StabilizationPenalty*frac
+		}
+
+		violated := !slo.Met(perf)
+		rec := StepRecord{
+			Now:          now,
+			Clients:      w.Clients,
+			LatencyMs:    perf.LatencyMs,
+			QoSPercent:   perf.QoSPercent,
+			Utilization:  perf.Utilization,
+			Allocation:   active,
+			InTransition: dep.InTransition(now),
+			SLOViolated:  violated,
+			Interference: interf,
+		}
+		res.Records = append(res.Records, rec)
+		if violated {
+			violations++
+		}
+
+		obs := Observation{
+			Now:              now,
+			Workload:         w,
+			Perf:             perf,
+			SLOViolated:      violated,
+			Allocation:       active,
+			TargetAllocation: dep.TargetAllocation(),
+			InTransition:     rec.InTransition,
+		}
+		action, err := cfg.Controller.Step(obs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: controller %s at %v: %w", cfg.Controller.Name(), now, err)
+		}
+		if action.Target != nil && !action.Target.Equal(dep.TargetAllocation()) {
+			applyAt := now + action.DecisionTime
+			if err := dep.Apply(applyAt, *action.Target); err != nil {
+				return nil, fmt.Errorf("sim: apply at %v: %w", applyAt, err)
+			}
+			res.Decisions++
+			if episodeStart < 0 {
+				episodeStart = now
+				episodeResizes = 0
+			}
+			episodeResizes++
+		}
+		// An episode ends when nothing is pending anymore.
+		if episodeStart >= 0 && !dep.InTransition(now+cfg.Step) {
+			res.Episodes = append(res.Episodes, Episode{
+				StartOffset: episodeStart,
+				Duration:    now + cfg.Step - episodeStart,
+				Resizes:     episodeResizes,
+			})
+			episodeStart = -1
+		}
+	}
+
+	res.TotalCost = dep.Cost(total)
+	res.SLOViolationFraction = float64(violations) / float64(len(res.Records))
+	return res, nil
+}
+
+// FixedMaxCost returns the cost of holding the service's full-capacity
+// allocation for the duration of the trace — the paper's
+// overprovisioning reference ("compared to a fixed, maximum
+// allocation").
+func FixedMaxCost(svc services.Service, tr *trace.Trace) float64 {
+	return svc.MaxAllocation().CostFor(tr.Duration())
+}
