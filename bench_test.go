@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -16,10 +17,12 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/queueing"
 	"repro/internal/services"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -144,6 +147,65 @@ func BenchmarkCostSummary(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.AnnualSavings100, "annual-$-100inst")
+	}
+}
+
+// --- Fleet control plane -------------------------------------------
+
+// BenchmarkFleet measures control-plane throughput (simulation
+// steps/sec) and shared-repository effectiveness as the fleet grows
+// from 1 to 100 VMs: learning and tuning costs are paid once per
+// service template, so steps/sec should scale with cores and the
+// hit rate should not degrade with N.
+func BenchmarkFleet(b *testing.B) {
+	for _, n := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("vms=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+					Rng:         rand.New(rand.NewSource(42)),
+					VMs:         n,
+					Days:        1,
+					Homogeneous: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := fleet.Run(fleet.Config{Specs: specs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.StepsPerSecond(), "steps/s")
+				b.ReportMetric(100*res.HitRate(), "repo-hit%")
+				b.ReportMetric(res.TotalCost(), "fleet-$")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetHeterogeneous runs the mixed-template fleet with
+// correlated interference — the adversarial configuration where three
+// repositories and tuning caches are under concurrent mixed load.
+func BenchmarkFleetHeterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+			Rng:          rand.New(rand.NewSource(42)),
+			VMs:          30,
+			Days:         1,
+			Interference: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := fleet.Run(fleet.Config{Specs: specs, InterferenceDetection: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StepsPerSecond(), "steps/s")
+		b.ReportMetric(100*res.HitRate(), "repo-hit%")
 	}
 }
 

@@ -1,11 +1,13 @@
 // Command dejavu-sim runs a single trace-driven simulation with a
 // chosen resource-management controller and prints per-hour state and
-// summary statistics.
+// summary statistics — or, with -fleet N, drives a whole fleet of
+// concurrently simulated VMs over shared signature repositories.
 //
 // Usage:
 //
 //	dejavu-sim [-trace hotmail|messenger] [-controller dejavu|autopilot|rightscale|fixedmax]
 //	           [-days D] [-seed N] [-calm MINUTES] [-interference]
+//	dejavu-sim -fleet N [-workers W] [-days D] [-seed N] [-interference] [-hetero]
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -31,12 +34,67 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	calm := flag.Int("calm", 15, "rightscale resize calm time (minutes)")
 	interference := flag.Bool("interference", false, "inject alternating 10%/20% co-located interference")
+	fleetN := flag.Int("fleet", 0, "fleet mode: number of concurrently simulated VMs (0 = single-VM mode)")
+	workers := flag.Int("workers", 0, "fleet worker-pool size (default GOMAXPROCS)")
+	hetero := flag.Bool("hetero", false, "fleet mode: mix cassandra/specweb/rubis templates instead of all-cassandra")
 	flag.Parse()
 
-	if err := run(os.Stdout, *traceName, *controller, *days, *seed, *calm, *interference); err != nil {
+	var err error
+	if *fleetN < 0 {
+		err = fmt.Errorf("-fleet %d: fleet size cannot be negative", *fleetN)
+	} else if *fleetN > 0 {
+		err = runFleet(os.Stdout, *fleetN, *workers, *days, *seed, *interference, *hetero)
+	} else {
+		err = run(os.Stdout, *traceName, *controller, *days, *seed, *calm, *interference)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dejavu-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet generates an N-VM scenario and runs the fleet control
+// plane over it.
+func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, hetero bool) error {
+	if days < 2 || days > 7 {
+		days = 2
+	}
+	specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+		Rng:          rand.New(rand.NewSource(seed)),
+		VMs:          vms,
+		Days:         days - 1, // one learning day, the rest evaluated
+		Homogeneous:  !hetero,
+		Interference: interference,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := fleet.Run(fleet.Config{
+		Specs:                 specs,
+		Workers:               workers,
+		InterferenceDetection: interference,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "fleet: %d VMs, %d evaluated day(s), learning %v, run %v (%.0f steps/s)\n",
+		vms, days-1, res.LearningTime.Round(time.Millisecond),
+		res.Elapsed.Round(time.Millisecond), res.StepsPerSecond())
+	for _, g := range res.Groups {
+		fmt.Fprintf(w, "  %-10s %3d VMs  %d classes  %3d repo entries  repo hit-rate %.0f%%  tuner hits/misses %d/%d\n",
+			g.Service, g.VMs, g.Classes, g.RepoEntries, 100*g.RepoHitRate, g.TunerHits, g.TunerMisses)
+	}
+	fmt.Fprintf(w, "fleet repo hit-rate %.0f%%, mean SLO violations %.1f%% of time\n",
+		100*res.HitRate(), 100*res.MeanSLOViolationFraction())
+	fmt.Fprintln(w, "\nper-tenant bill (top 10):")
+	if err := res.Bill.WriteTop(w, 10); err != nil {
+		return err
+	}
+	for _, u := range res.Bill.ByService() {
+		fmt.Fprintf(w, "by-service %-10s %10.1f inst-h  $%10.2f\n", u.Service, u.InstanceHours, u.Cost)
+	}
+	return nil
 }
 
 func run(w io.Writer, traceName, controller string, days int, seed int64, calmMin int, interference bool) error {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -19,6 +21,32 @@ func TestRunControllers(t *testing.T) {
 func TestRunWithInterference(t *testing.T) {
 	if err := run(io.Discard, "hotmail", "dejavu", 2, 1, 15, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunFleet(t *testing.T) {
+	var out bytes.Buffer
+	if err := runFleet(&out, 4, 2, 2, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"fleet: 4 VMs", "cassandra", "repo hit-rate", "total  $"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("fleet report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunFleetHeteroInterference(t *testing.T) {
+	var out bytes.Buffer
+	if err := runFleet(&out, 5, 0, 2, 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, svc := range []string{"cassandra", "specweb"} {
+		if !strings.Contains(report, svc) {
+			t.Errorf("heterogeneous fleet report missing %q:\n%s", svc, report)
+		}
 	}
 }
 

@@ -1,0 +1,98 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFleetBillAggregation(t *testing.T) {
+	b := NewFleetBill()
+	b.Post(TenantUsage{Tenant: "vm-a", Service: "cassandra", Cost: 10, InstanceHours: 5, Duration: time.Hour})
+	b.Post(TenantUsage{Tenant: "vm-b", Service: "specweb", Cost: 30, InstanceHours: 2, Duration: time.Hour})
+	b.Post(TenantUsage{Tenant: "vm-a", Service: "cassandra", Cost: 5, InstanceHours: 1, Duration: time.Hour})
+
+	if got := b.Total(); math.Abs(got-45) > 1e-12 {
+		t.Errorf("Total = %v, want 45", got)
+	}
+	if b.Posts() != 3 {
+		t.Errorf("Posts = %d, want 3", b.Posts())
+	}
+
+	tenants := b.Tenants()
+	if len(tenants) != 2 {
+		t.Fatalf("Tenants = %+v, want 2 entries", tenants)
+	}
+	// Sorted by descending cost: vm-b ($30) first.
+	if tenants[0].Tenant != "vm-b" || tenants[1].Tenant != "vm-a" {
+		t.Errorf("tenant order: %s, %s", tenants[0].Tenant, tenants[1].Tenant)
+	}
+	// vm-a accumulated both posts.
+	if tenants[1].Cost != 15 || tenants[1].InstanceHours != 6 || tenants[1].Duration != 2*time.Hour {
+		t.Errorf("vm-a rollup: %+v", tenants[1])
+	}
+
+	byService := b.ByService()
+	if len(byService) != 2 || byService[0].Service != "specweb" {
+		t.Errorf("ByService: %+v", byService)
+	}
+}
+
+func TestFleetBillTieBreakByName(t *testing.T) {
+	b := NewFleetBill()
+	b.Post(TenantUsage{Tenant: "vm-z", Cost: 7})
+	b.Post(TenantUsage{Tenant: "vm-a", Cost: 7})
+	tenants := b.Tenants()
+	if tenants[0].Tenant != "vm-a" || tenants[1].Tenant != "vm-z" {
+		t.Errorf("equal-cost tenants should sort by name: %+v", tenants)
+	}
+}
+
+func TestFleetBillConcurrentPosts(t *testing.T) {
+	b := NewFleetBill()
+	const workers = 8
+	const posts = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < posts; i++ {
+				b.Post(TenantUsage{
+					Tenant:  fmt.Sprintf("vm-%d", w),
+					Service: "cassandra",
+					Cost:    1,
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Total(); math.Abs(got-workers*posts) > 1e-9 {
+		t.Errorf("Total = %v, want %d", got, workers*posts)
+	}
+	if got := len(b.Tenants()); got != workers {
+		t.Errorf("%d tenants, want %d", got, workers)
+	}
+	if b.Posts() != workers*posts {
+		t.Errorf("Posts = %d, want %d", b.Posts(), workers*posts)
+	}
+}
+
+func TestFleetBillWrite(t *testing.T) {
+	b := NewFleetBill()
+	b.Post(TenantUsage{Tenant: "vm-a", Service: "rubis", Cost: 12.5, InstanceHours: 3})
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"vm-a", "rubis", "total", "12.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

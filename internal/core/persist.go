@@ -41,9 +41,6 @@ const repositoryStateVersion = 1
 // Save serializes the repository (signature space, classifier, novelty
 // model, and every cached allocation) as JSON.
 func (r *Repository) Save(w io.Writer) error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-
 	clf, err := ml.MarshalClassifier(r.classifier)
 	if err != nil {
 		return fmt.Errorf("core: marshal classifier: %w", err)
@@ -58,10 +55,10 @@ func (r *Repository) Save(w io.Writer) error {
 		NoveltyRadius:      r.noveltyRadius,
 		CertaintyThreshold: r.certaintyThreshold,
 	}
-	for k, a := range r.entries {
+	for _, e := range r.Snapshot() {
 		st.Entries = append(st.Entries, entryState{
-			Class: k.class, Bucket: k.bucket,
-			TypeName: a.Type.Name, Count: a.Count,
+			Class: e.Class, Bucket: e.Bucket,
+			TypeName: e.Allocation.Type.Name, Count: e.Allocation.Count,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cloud"
 	"repro/internal/metrics"
@@ -38,15 +39,26 @@ func BucketForFraction(fraction float64) int {
 	return b
 }
 
+// repoShards is the number of entry-map shards. Entries are sharded by
+// workload class, so a fleet of controllers whose workloads happen to
+// classify differently contend on different locks; 16 shards cover the
+// paper's 2–6 classes with headroom for larger clusterings.
+const repoShards = 16
+
 // Repository is the DejaVu cache: workload signatures along with their
 // preferred resource allocations, keyed by workload class and
 // interference bucket (paper §3.4, §3.6). Lookups classify the
 // incoming signature and report a certainty level; low certainty means
 // the workload "has changed over time and the current clustering is no
 // longer relevant".
+//
+// The repository is safe for concurrent use by many controllers (the
+// fleet control plane shares one repository across every VM of a
+// service template): the learned artifacts — standardizer, classifier,
+// centroids, novelty radii — are immutable after construction, so
+// Classify runs lock-free; the allocation entries are sharded by class
+// behind per-shard RWMutexes; and the hit/miss statistics are atomics.
 type Repository struct {
-	mu sync.RWMutex
-
 	// events is the signature metric tuple (ordered).
 	events []metrics.Event
 	// standardizer maps raw signatures into the learned feature
@@ -60,19 +72,30 @@ type Repository struct {
 	// the centroid, inflated by a tolerance; signatures farther from
 	// every centroid are unforeseen workloads.
 	noveltyRadius []float64
-	// entries maps (class, interference bucket) to the preferred
-	// allocation.
-	entries map[repoKey]cloud.Allocation
+	// shards hold the (class, interference bucket) -> allocation
+	// entries, sharded by class.
+	shards [repoShards]repoShard
 	// certaintyThreshold is the minimum classifier confidence for a
 	// cache hit.
 	certaintyThreshold float64
 	// stats
-	hits, misses int
+	hits, misses atomic.Int64
+}
+
+// repoShard is one lock-striped slice of the entry map.
+type repoShard struct {
+	mu      sync.RWMutex
+	entries map[repoKey]cloud.Allocation
 }
 
 type repoKey struct {
 	class  int
 	bucket int
+}
+
+// shardFor returns the shard holding the given class's entries.
+func (r *Repository) shardFor(class int) *repoShard {
+	return &r.shards[class%repoShards]
 }
 
 // LookupResult is the outcome of a repository lookup.
@@ -107,15 +130,18 @@ func NewRepository(events []metrics.Event, std *ml.Standardizer, clf ml.Classifi
 	if certaintyThreshold == 0 {
 		certaintyThreshold = 0.6
 	}
-	return &Repository{
+	r := &Repository{
 		events:             append([]metrics.Event(nil), events...),
 		standardizer:       std,
 		classifier:         clf,
 		centroids:          centroids,
 		noveltyRadius:      append([]float64(nil), noveltyRadius...),
-		entries:            make(map[repoKey]cloud.Allocation),
 		certaintyThreshold: certaintyThreshold,
-	}, nil
+	}
+	for i := range r.shards {
+		r.shards[i].entries = make(map[repoKey]cloud.Allocation)
+	}
+	return r, nil
 }
 
 // Events returns the signature metric tuple.
@@ -139,18 +165,23 @@ func (r *Repository) Put(class, bucket int, alloc cloud.Allocation) error {
 	if err := alloc.Validate(); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.entries[repoKey{class, bucket}] = alloc
+	s := r.shardFor(class)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[repoKey{class, bucket}] = alloc
 	return nil
 }
 
 // Get returns the cached allocation for (class, bucket) without
 // classification.
 func (r *Repository) Get(class, bucket int) (cloud.Allocation, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	a, ok := r.entries[repoKey{class, bucket}]
+	if class < 0 {
+		return cloud.Allocation{}, false
+	}
+	s := r.shardFor(class)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.entries[repoKey{class, bucket}]
 	return a, ok
 }
 
@@ -210,27 +241,24 @@ func (r *Repository) Lookup(sig *Signature, bucket int) (LookupResult, error) {
 	return res, nil
 }
 
-func (r *Repository) countHit() {
-	r.mu.Lock()
-	r.hits++
-	r.mu.Unlock()
-}
-
-func (r *Repository) countMiss() {
-	r.mu.Lock()
-	r.misses++
-	r.mu.Unlock()
-}
+func (r *Repository) countHit()  { r.hits.Add(1) }
+func (r *Repository) countMiss() { r.misses.Add(1) }
 
 // HitRate returns the fraction of lookups that were cache hits.
 func (r *Repository) HitRate() float64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	total := r.hits + r.misses
+	hits := r.hits.Load()
+	total := hits + r.misses.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(r.hits) / float64(total)
+	return float64(hits) / float64(total)
+}
+
+// LookupCounts returns the raw (hits, misses) counters; under
+// concurrent lookups the two loads are individually atomic but not
+// mutually consistent — exact totals require external quiescence.
+func (r *Repository) LookupCounts() (hits, misses int64) {
+	return r.hits.Load(), r.misses.Load()
 }
 
 // Entries returns a stable snapshot of the cached allocations, sorted
@@ -241,13 +269,30 @@ type Entry struct {
 	Allocation cloud.Allocation
 }
 
-// Snapshot returns all entries sorted by (class, bucket).
+// Len returns the number of cached allocations.
+func (r *Repository) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshot returns all entries sorted by (class, bucket). Each shard is
+// copied under its own read lock, so a snapshot taken under concurrent
+// Puts is a consistent view per shard (not across shards).
 func (r *Repository) Snapshot() []Entry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]Entry, 0, len(r.entries))
-	for k, v := range r.entries {
-		out = append(out, Entry{Class: k.class, Bucket: k.bucket, Allocation: v})
+	var out []Entry
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, v := range s.entries {
+			out = append(out, Entry{Class: k.class, Bucket: k.bucket, Allocation: v})
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Class != out[j].Class {

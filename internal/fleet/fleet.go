@@ -1,0 +1,357 @@
+// Package fleet is the multi-tenant control plane: it drives many
+// logical VMs — each with its own DejaVu runtime controller and
+// simulated deployment — concurrently against one shared, sharded
+// signature repository per service template. Tuning results learned on
+// one VM become instantly reusable by every other VM of the same
+// template, which is the paper's cross-deployment "déjà vu" effect
+// (§6: an application "can benefit from the experience of other cloud
+// tenants as well") realized at fleet scale.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/sim"
+)
+
+// newRng builds a VM- or group-private rand source; sharing one across
+// goroutines would race.
+func newRng(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// Config drives one fleet run.
+type Config struct {
+	// Specs are the fleet's VMs (from sim.GenerateScenario or built
+	// by hand).
+	Specs []sim.VMSpec
+	// Workers bounds control-plane concurrency: how many VM
+	// simulations run at once (default GOMAXPROCS).
+	Workers int
+	// Step is the per-VM simulation step (default 1 minute).
+	Step time.Duration
+	// InterferenceDetection enables each controller's Eq. 2 feedback
+	// loop; leave false only to reproduce the oblivious baseline.
+	InterferenceDetection bool
+	// OnDemandProfiling lets controllers profile on SLO violations
+	// between periodic rounds.
+	OnDemandProfiling bool
+	// SkipLearning reuses Repositories when set: keys are service
+	// names, values pre-learned repositories (e.g. loaded with
+	// core.LoadRepository). Templates without an entry still learn.
+	SkipLearning map[string]*core.Repository
+}
+
+// GroupStats reports one service template's shared-cache effectiveness.
+type GroupStats struct {
+	// Service names the template.
+	Service string
+	// VMs is how many fleet VMs run the template.
+	VMs int
+	// Classes is the learned workload-class count.
+	Classes int
+	// RepoHitRate is the shared repository's lookup hit rate over
+	// the whole run, all VMs combined.
+	RepoHitRate float64
+	// RepoHits and RepoMisses are the raw lookup counters.
+	RepoHits, RepoMisses int64
+	// RepoEntries is the number of cached (class, bucket)
+	// allocations at the end of the run.
+	RepoEntries int
+	// TunerHits and TunerMisses count shared tuning-cache reuse:
+	// each hit is a tuning sweep some VM skipped because a peer
+	// already ran it.
+	TunerHits, TunerMisses int
+}
+
+// Result aggregates a fleet run.
+type Result struct {
+	// VMResults holds each VM's simulation result, indexed like
+	// Config.Specs.
+	VMResults []*sim.Result
+	// Groups holds per-template stats, sorted by service name.
+	Groups []GroupStats
+	// Bill is the per-tenant billing aggregation.
+	Bill *cloud.FleetBill
+	// TotalSteps is the number of simulation steps executed across
+	// the fleet.
+	TotalSteps int
+	// Elapsed is the wall-clock time of the concurrent run phase
+	// (learning excluded).
+	Elapsed time.Duration
+	// LearningTime is the wall-clock time of the per-template
+	// learning phase.
+	LearningTime time.Duration
+}
+
+// StepsPerSecond is the control-plane throughput: fleet simulation
+// steps per wall-clock second.
+func (r *Result) StepsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalSteps) / r.Elapsed.Seconds()
+}
+
+// HitRate is the fleet-wide repository hit rate (all templates,
+// weighted by lookup volume).
+func (r *Result) HitRate() float64 {
+	var hits, total int64
+	for _, g := range r.Groups {
+		hits += g.RepoHits
+		total += g.RepoHits + g.RepoMisses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// TotalCost is the fleet-wide provisioning bill in USD.
+func (r *Result) TotalCost() float64 { return r.Bill.Total() }
+
+// MeanSLOViolationFraction averages the per-VM violation fractions.
+func (r *Result) MeanSLOViolationFraction() float64 {
+	if len(r.VMResults) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, vr := range r.VMResults {
+		sum += vr.SLOViolationFraction
+	}
+	return sum / float64(len(r.VMResults))
+}
+
+// DefaultTuner builds the evaluation tuner for a service template:
+// scale-out over large instances for Cassandra and RUBiS, scale-up
+// over instance types for SPECweb — the paper's two case studies.
+func DefaultTuner(svc services.Service) (core.Tuner, error) {
+	switch s := svc.(type) {
+	case *services.Cassandra:
+		return core.NewScaleOutTuner(s, cloud.Large, s.MinInstances, s.MaxInstances)
+	case *services.SPECWeb:
+		return core.NewScaleUpTuner(s, s.Instances, []cloud.InstanceType{cloud.Large, cloud.XLarge})
+	case *services.RUBiS:
+		return core.NewScaleOutTuner(s, cloud.Large, 1, s.MaxInstances)
+	default:
+		return nil, fmt.Errorf("fleet: no default tuner for service %q", svc.Name())
+	}
+}
+
+// group is one service template's shared state.
+type group struct {
+	service services.Service
+	repo    *core.Repository
+	cache   *core.SharedTuningCache
+	classes int
+	vms     []int // indices into Config.Specs
+}
+
+// Run executes the fleet: learn once per service template, then drive
+// every VM's controller concurrently over the shared repositories.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, errors.New("fleet: no VMs")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = time.Minute
+	}
+	for i, spec := range cfg.Specs {
+		if spec.Service == nil || spec.RunTrace == nil {
+			return nil, fmt.Errorf("fleet: vm %d (%s) needs Service and RunTrace", i, spec.Name)
+		}
+	}
+
+	// Group VMs by service template; each group shares one
+	// repository and one tuning cache.
+	groups := make(map[string]*group)
+	for i, spec := range cfg.Specs {
+		name := spec.Service.Name()
+		g, ok := groups[name]
+		if !ok {
+			g = &group{service: spec.Service, cache: core.NewSharedTuningCache()}
+			groups[name] = g
+		}
+		g.vms = append(g.vms, i)
+	}
+
+	// Learning phase: one clustering + tuning pass per template (the
+	// fleet-wide amortization: N VMs, one learning bill). Groups
+	// learn in parallel; each uses its first VM's learning-day trace.
+	learnStart := time.Now()
+	var learnWG sync.WaitGroup
+	learnErrs := make([]error, len(groups))
+	learnIdx := 0
+	for _, g := range groups {
+		g := g
+		idx := learnIdx
+		learnIdx++
+		learnWG.Add(1)
+		go func() {
+			defer learnWG.Done()
+			learnErrs[idx] = learnGroup(cfg, g)
+		}()
+	}
+	learnWG.Wait()
+	if err := errors.Join(learnErrs...); err != nil {
+		return nil, err
+	}
+	learningTime := time.Since(learnStart)
+
+	// Run phase: a worker pool drains the VM queue. Only the
+	// repository (sharded, atomic counters) and the tuning cache
+	// (mutex) are shared; profiler, tuner, and controller are
+	// per-VM.
+	res := &Result{
+		VMResults: make([]*sim.Result, len(cfg.Specs)),
+		Bill:      cloud.NewFleetBill(),
+	}
+	jobs := make(chan int)
+	runErrs := make([]error, len(cfg.Specs))
+	runStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				vr, err := runVM(cfg, cfg.Specs[i], groups[cfg.Specs[i].Service.Name()])
+				if err != nil {
+					runErrs[i] = fmt.Errorf("fleet: vm %d (%s): %w", i, cfg.Specs[i].Name, err)
+					continue
+				}
+				res.VMResults[i] = vr
+				res.Bill.Post(cloud.TenantUsage{
+					Tenant:        cfg.Specs[i].Name,
+					Service:       cfg.Specs[i].Service.Name(),
+					Cost:          vr.TotalCost,
+					InstanceHours: vr.MeanAllocatedInstances() * cfg.Specs[i].RunTrace.Duration().Hours(),
+					Duration:      cfg.Specs[i].RunTrace.Duration(),
+				})
+			}
+		}()
+	}
+	for i := range cfg.Specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if err := errors.Join(runErrs...); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(runStart)
+	res.LearningTime = learningTime
+
+	for _, vr := range res.VMResults {
+		res.TotalSteps += len(vr.Records)
+	}
+	for name, g := range groups {
+		hits, misses := g.repo.LookupCounts()
+		res.Groups = append(res.Groups, GroupStats{
+			Service:     name,
+			VMs:         len(g.vms),
+			Classes:     g.classes,
+			RepoHitRate: g.repo.HitRate(),
+			RepoHits:    hits,
+			RepoMisses:  misses,
+			RepoEntries: g.repo.Len(),
+			TunerHits:   g.cache.Hits(),
+			TunerMisses: g.cache.Misses(),
+		})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Service < res.Groups[j].Service })
+	return res, nil
+}
+
+// learnGroup runs (or skips) the learning phase for one template.
+func learnGroup(cfg Config, g *group) error {
+	if repo, ok := cfg.SkipLearning[g.service.Name()]; ok && repo != nil {
+		g.repo = repo
+		g.classes = repo.Classes()
+		return nil
+	}
+	first := cfg.Specs[g.vms[0]]
+	if first.LearnTrace == nil {
+		return fmt.Errorf("fleet: service %s needs a LearnTrace on its first VM", g.service.Name())
+	}
+	rng := newRng(first.Seed)
+	prof, err := core.NewProfiler(g.service, rng)
+	if err != nil {
+		return fmt.Errorf("fleet: service %s: %w", g.service.Name(), err)
+	}
+	tuner, err := DefaultTuner(g.service)
+	if err != nil {
+		return err
+	}
+	// Learning tunes through the shared cache too, so the runtime
+	// misses of every VM can reuse the learning-phase sweeps.
+	shared, err := core.NewSharedTuner(g.cache, g.service, tuner)
+	if err != nil {
+		return err
+	}
+	repo, report, err := core.Learn(core.LearnConfig{
+		Profiler:  prof,
+		Tuner:     shared,
+		Workloads: core.WorkloadsFromTrace(first.LearnTrace, first.Mix),
+		Rng:       rng,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: learning %s: %w", g.service.Name(), err)
+	}
+	g.repo = repo
+	g.classes = report.Classes
+	return nil
+}
+
+// runVM simulates one VM against its group's shared repository.
+func runVM(cfg Config, spec sim.VMSpec, g *group) (*sim.Result, error) {
+	rng := newRng(spec.Seed)
+	prof, err := core.NewProfiler(spec.Service, rng)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := DefaultTuner(spec.Service)
+	if err != nil {
+		return nil, err
+	}
+	tuner, err := core.NewSharedTuner(g.cache, spec.Service, inner)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := core.NewController(core.ControllerConfig{
+		Repository:            g.repo,
+		Profiler:              prof,
+		Tuner:                 tuner,
+		Service:               spec.Service,
+		InterferenceDetection: cfg.InterferenceDetection,
+		OnDemandProfiling:     cfg.OnDemandProfiling,
+	})
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{
+		Service:      spec.Service,
+		Trace:        spec.RunTrace,
+		Mix:          spec.Mix,
+		Controller:   ctl,
+		Step:         cfg.Step,
+		Initial:      spec.Service.MaxAllocation(),
+		Interference: spec.Interference,
+	}
+	return sim.Run(simCfg)
+}

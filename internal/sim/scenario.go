@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/services"
+	"repro/internal/trace"
+)
+
+// VMSpec describes one logical VM of a multi-tenant fleet scenario:
+// which service template it runs, the load it sees, and the co-located
+// interference it suffers. The fleet control plane turns each spec
+// into a controller plus a simulation run.
+type VMSpec struct {
+	// Name identifies the VM (tenant) in reports and bills.
+	Name string
+	// Service is the service template the VM runs. VMs sharing a
+	// template share a signature repository, so allocations learned
+	// on one are instantly reusable by the others.
+	Service services.Service
+	// LearnTrace is the VM's learning-day load (24 hourly samples).
+	LearnTrace *trace.Trace
+	// RunTrace is the load replayed during the evaluated window.
+	RunTrace *trace.Trace
+	// Mix is the request mix.
+	Mix services.Mix
+	// Interference gives the co-located contention fraction over
+	// time; VMs placed on the same host share the same schedule
+	// (correlated interference). Nil means an isolated VM.
+	Interference func(now time.Duration) float64
+	// Host is the physical host the VM is placed on.
+	Host int
+	// Seed drives the VM's private randomness (profiling noise).
+	Seed int64
+}
+
+// ScenarioConfig parameterizes the fleet scenario generator.
+type ScenarioConfig struct {
+	// Rng drives all scenario randomness; required.
+	Rng *rand.Rand
+	// VMs is the fleet size (default 1).
+	VMs int
+	// Days is the evaluated window per VM, after the learning day
+	// (default 1, so two trace days are consumed in total).
+	Days int
+	// VMsPerHost sets the consolidation ratio: VMs on the same host
+	// see the same interference schedule (default 4).
+	VMsPerHost int
+	// MaxStaggerHours staggers each VM's diurnal phase: tenant i's
+	// trace is rotated by a random 0..MaxStaggerHours hours, so
+	// phase changes arrive spread over the fleet instead of in
+	// lockstep (default 6).
+	MaxStaggerHours int
+	// Interference enables the per-host contention schedules.
+	Interference bool
+	// Homogeneous pins every VM to Cassandra (the paper's scale-out
+	// case study); otherwise the fleet mixes all three service
+	// templates.
+	Homogeneous bool
+}
+
+// servicePeakClients returns the trace peak used for each service
+// template, chosen so the peak saturates roughly 3/4 of full capacity
+// (the operating points the paper evaluates).
+func servicePeakClients(svc services.Service) float64 {
+	switch svc.Name() {
+	case "specweb":
+		return 350
+	case "rubis":
+		return 800
+	default: // cassandra
+		return 480
+	}
+}
+
+// rotateHours returns a copy of an hourly trace rotated left by h
+// hours, wrapping the head samples to the tail — same shape, shifted
+// phase.
+func rotateHours(t *trace.Trace, h int) *trace.Trace {
+	n := t.Len()
+	out := &trace.Trace{Name: t.Name, Step: t.Step, Loads: make([]float64, n)}
+	if n == 0 {
+		return out
+	}
+	h = ((h % n) + n) % n
+	for i := 0; i < n; i++ {
+		out.Loads[i] = t.Loads[(i+h)%n]
+	}
+	return out
+}
+
+// hostInterference builds one host's contention schedule: square waves
+// of 10–30% stolen capacity with a host-specific period and phase, the
+// shape of a noisy neighbor appearing and leaving.
+func hostInterference(rng *rand.Rand) func(now time.Duration) float64 {
+	low := 0.05 + 0.10*rng.Float64()
+	high := low + 0.05 + 0.10*rng.Float64()
+	period := time.Duration(4+rng.Intn(8)) * time.Hour
+	phase := time.Duration(rng.Intn(12)) * time.Hour
+	return func(now time.Duration) float64 {
+		if int((now+phase)/period)%2 == 0 {
+			return low
+		}
+		return high
+	}
+}
+
+// GenerateScenario builds a heterogeneous multi-VM fleet scenario:
+// each VM gets its own synthetic week (private noise), a staggered
+// diurnal phase, a service template, and a host placement whose
+// interference schedule it shares with its co-located neighbors.
+func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
+	if cfg.Rng == nil {
+		return nil, errors.New("sim: scenario needs a Rng")
+	}
+	if cfg.VMs <= 0 {
+		cfg.VMs = 1
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	if cfg.Days > 6 {
+		return nil, fmt.Errorf("sim: %d run days exceed the 7-day traces (1 learning day + 6)", cfg.Days)
+	}
+	if cfg.VMsPerHost <= 0 {
+		cfg.VMsPerHost = 4
+	}
+	if cfg.MaxStaggerHours < 0 {
+		cfg.MaxStaggerHours = 0
+	} else if cfg.MaxStaggerHours == 0 {
+		cfg.MaxStaggerHours = 6
+	}
+
+	hosts := (cfg.VMs + cfg.VMsPerHost - 1) / cfg.VMsPerHost
+	schedules := make([]func(time.Duration) float64, hosts)
+	if cfg.Interference {
+		for h := range schedules {
+			schedules[h] = hostInterference(cfg.Rng)
+		}
+	}
+
+	specs := make([]VMSpec, 0, cfg.VMs)
+	for i := 0; i < cfg.VMs; i++ {
+		var svc services.Service
+		if cfg.Homogeneous {
+			svc = services.NewCassandra()
+		} else {
+			// Weighted palette: the scale-out case study dominates,
+			// with scale-up and three-tier tenants mixed in.
+			switch i % 4 {
+			case 1:
+				svc = services.NewSPECWeb()
+			case 3:
+				svc = services.NewRUBiS()
+			default:
+				svc = services.NewCassandra()
+			}
+		}
+
+		vmSeed := cfg.Rng.Int63()
+		vmRng := rand.New(rand.NewSource(vmSeed))
+		var week *trace.Trace
+		if i%2 == 0 {
+			week = trace.Messenger(trace.SynthConfig{Rng: vmRng, DailyPhaseShift: true})
+		} else {
+			week = trace.HotMail(trace.SynthConfig{Rng: vmRng, DailyPhaseShift: true})
+		}
+		week = week.ScaleTo(servicePeakClients(svc))
+		if cfg.MaxStaggerHours > 0 {
+			week = rotateHours(week, cfg.Rng.Intn(cfg.MaxStaggerHours+1))
+		}
+
+		learn, err := week.Day(0)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scenario vm %d: %w", i, err)
+		}
+		run, err := week.Slice(24, (1+cfg.Days)*24)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scenario vm %d: %w", i, err)
+		}
+
+		host := i / cfg.VMsPerHost
+		spec := VMSpec{
+			Name:       fmt.Sprintf("vm-%03d-%s", i, svc.Name()),
+			Service:    svc,
+			LearnTrace: learn,
+			RunTrace:   run,
+			Mix:        svc.DefaultMix(),
+			Host:       host,
+			Seed:       vmSeed,
+		}
+		if cfg.Interference {
+			spec.Interference = schedules[host]
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

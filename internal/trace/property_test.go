@@ -103,3 +103,46 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCSVRoundTripArbitraryProperty widens the round-trip check beyond
+// hourly synthetic traces: arbitrary load values and sub-hourly steps,
+// verifying that ReadCSV's step inference and every sample survive the
+// trip within encoder precision (4 decimal places).
+func TestCSVRoundTripArbitraryProperty(t *testing.T) {
+	// Steps exactly representable in 4 decimal hours, so the
+	// inferred step must match exactly.
+	steps := []time.Duration{15 * time.Minute, 30 * time.Minute, time.Hour, 90 * time.Minute}
+	f := func(seed int64, stepIdx uint8, lenX uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{
+			Name:  "arb",
+			Step:  steps[int(stepIdx)%len(steps)],
+			Loads: make([]float64, 2+int(lenX)%200),
+		}
+		for i := range tr.Loads {
+			tr.Loads[i] = rng.Float64() * 5000
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf, tr.Name)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() || back.Step != tr.Step {
+			return false
+		}
+		for i := range tr.Loads {
+			if math.Abs(back.Loads[i]-tr.Loads[i]) > 1e-3 {
+				return false
+			}
+		}
+		// Zero-order-hold sampling agrees at a random offset.
+		off := time.Duration(rng.Int63n(int64(tr.Duration())))
+		return math.Abs(back.At(off)-tr.At(off)) <= 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
