@@ -495,22 +495,40 @@ func BenchmarkCFSSelect(b *testing.B) {
 
 // BenchmarkSignatureCollection measures the runtime fast path: one
 // ~10 s signature sample (simulated, so wall time is the compute
-// cost only).
+// cost only). The parent benchmark is the ProfileInto path the
+// controller actually runs (allocation-free); /legacy is the
+// map-based Profile API kept for compatibility.
 func BenchmarkSignatureCollection(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
-	svc := services.NewCassandra()
-	prof, err := core.NewProfiler(svc, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	events := []metrics.Event{metrics.EvBusqEmpty, metrics.EvCPUClkUnhalt}
-	w := services.Workload{Clients: 300, Mix: svc.DefaultMix()}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := prof.Profile(w, events); err != nil {
+	setup := func(b *testing.B) (*core.Profiler, []metrics.Event, services.Workload) {
+		b.Helper()
+		rng := rand.New(rand.NewSource(4))
+		svc := services.NewCassandra()
+		prof, err := core.NewProfiler(svc, rng)
+		if err != nil {
 			b.Fatal(err)
 		}
+		events := []metrics.Event{metrics.EvBusqEmpty, metrics.EvCPUClkUnhalt}
+		return prof, events, services.Workload{Clients: 300, Mix: svc.DefaultMix()}
 	}
+	b.Run("into", func(b *testing.B) {
+		prof, events, w := setup(b)
+		var sig core.Signature
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := prof.ProfileInto(w, events, prof.Window, &sig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		prof, events, w := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prof.Profile(w, events); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkRepositoryLookup measures the cache lookup: classify a
@@ -544,12 +562,35 @@ func BenchmarkRepositoryLookup(b *testing.B) {
 }
 
 // BenchmarkServicePerf measures one queueing-model evaluation, the
-// inner loop of the simulation engine.
+// inner loop of the simulation engine: the memoized path the engine
+// runs per step (parent), and the direct model evaluation (/direct).
 func BenchmarkServicePerf(b *testing.B) {
 	svc := services.NewCassandra()
 	w := services.Workload{Clients: 300, Mix: svc.DefaultMix()}
+	b.Run("memo", func(b *testing.B) {
+		memo := services.NewPerfMemo(svc)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = memo.Perf(&w, 7)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = svc.Perf(w, 7)
+		}
+	})
+}
+
+// BenchmarkMVAMemoized measures the memoized solver against the same
+// network/population as BenchmarkMVASolve: steady-state repeated
+// solves collapse to a memo hit plus a defensive result copy.
+func BenchmarkMVAMemoized(b *testing.B) {
+	nw := &queueing.Network{Demands: []float64{0.010, 0.025, 0.008}, ThinkTime: 1.5}
+	ms := queueing.NewMemoSolver()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = svc.Perf(w, 7)
+		if _, err := ms.Solve(nw, 500); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,264 @@
+// Command dejavu-bench runs the hot-path benchmarks programmatically
+// and records the results as JSON — the committed BENCH_fleet.json is
+// the performance baseline CI regresses against.
+//
+//	go run ./cmd/dejavu-bench -out BENCH_fleet.json          # refresh baseline
+//	go run ./cmd/dejavu-bench -check BENCH_fleet.json        # fail on regression
+//
+// With -check, the run fails (exit 1) when fleet steps/s drops more
+// than -tolerance (default 20%) below the baseline, or when a
+// tracked benchmark's allocs/op exceeds its baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+	"repro/internal/services"
+	"repro/internal/sim"
+)
+
+// Bench is one recorded benchmark.
+type Bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// FleetBench is the headline fleet control-plane measurement.
+type FleetBench struct {
+	VMs         int     `json:"vms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	RepoHitPct  float64 `json:"repo_hit_pct"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_fleet.json schema.
+type Report struct {
+	GoVersion           string     `json:"go_version"`
+	GOMAXPROCS          int        `json:"gomaxprocs"`
+	Fleet               FleetBench `json:"fleet"`
+	SignatureCollection Bench      `json:"signature_collection"`
+	ServicePerf         Bench      `json:"service_perf"`
+	MVASolve            Bench      `json:"mva_solve"`
+	MVAMemoized         Bench      `json:"mva_memoized"`
+}
+
+func toBench(r testing.BenchmarkResult) Bench {
+	return Bench{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func benchFleet(vms int) (FleetBench, error) {
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+				Rng:         rand.New(rand.NewSource(42)),
+				VMs:         vms,
+				Days:        1,
+				Homogeneous: true,
+			})
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			b.StartTimer()
+			res, err := fleet.Run(fleet.Config{Specs: specs})
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			b.ReportMetric(res.StepsPerSecond(), "steps/s")
+			b.ReportMetric(100*res.HitRate(), "repo-hit%")
+		}
+	})
+	if runErr != nil {
+		return FleetBench{}, runErr
+	}
+	return FleetBench{
+		VMs:         vms,
+		StepsPerSec: r.Extra["steps/s"],
+		RepoHitPct:  r.Extra["repo-hit%"],
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+func benchSignatureCollection() (Bench, error) {
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		svc := services.NewCassandra()
+		prof, err := core.NewProfiler(svc, rand.New(rand.NewSource(4)))
+		if err != nil {
+			runErr = err
+			b.FailNow()
+		}
+		events := []metrics.Event{metrics.EvBusqEmpty, metrics.EvCPUClkUnhalt}
+		w := services.Workload{Clients: 300, Mix: svc.DefaultMix()}
+		var sig core.Signature
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := prof.ProfileInto(w, events, prof.Window, &sig); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return toBench(r), runErr
+}
+
+func benchServicePerf() Bench {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		svc := services.NewCassandra()
+		memo := services.NewPerfMemo(svc)
+		w := services.Workload{Clients: 300, Mix: svc.DefaultMix()}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = memo.Perf(&w, 7)
+		}
+	})
+	return toBench(r)
+}
+
+func benchMVA(memoized bool) (Bench, error) {
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		nw := &queueing.Network{Demands: []float64{0.010, 0.025, 0.008}, ThinkTime: 1.5}
+		ms := queueing.NewMemoSolver()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if memoized {
+				_, err = ms.Solve(nw, 500)
+			} else {
+				_, err = nw.Solve(500)
+			}
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return toBench(r), runErr
+}
+
+func check(current, baseline *Report, tolerance float64) error {
+	floor := baseline.Fleet.StepsPerSec * (1 - tolerance)
+	if current.Fleet.StepsPerSec < floor {
+		return fmt.Errorf("fleet steps/s regressed: %.0f < %.0f (baseline %.0f - %d%%)",
+			current.Fleet.StepsPerSec, floor, baseline.Fleet.StepsPerSec, int(tolerance*100))
+	}
+	allocChecks := []struct {
+		name     string
+		cur, bas int64
+	}{
+		{"fleet", current.Fleet.AllocsPerOp, baseline.Fleet.AllocsPerOp},
+		{"signature_collection", current.SignatureCollection.AllocsPerOp, baseline.SignatureCollection.AllocsPerOp},
+		{"service_perf", current.ServicePerf.AllocsPerOp, baseline.ServicePerf.AllocsPerOp},
+	}
+	for _, c := range allocChecks {
+		// Allocation counts are deterministic; allow slack only for the
+		// fleet run, whose per-op counts include goroutine machinery.
+		slack := int64(0)
+		if c.name == "fleet" {
+			slack = c.bas / 5
+		}
+		if c.cur > c.bas+slack {
+			return fmt.Errorf("%s allocs/op regressed: %d > baseline %d", c.name, c.cur, c.bas)
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "", "write results to this JSON file")
+	checkPath := flag.String("check", "", "compare against this baseline JSON and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional steps/s regression with -check")
+	vms := flag.Int("vms", 100, "fleet size for the headline benchmark")
+	flag.Parse()
+
+	// Read the baseline up front so `-out X -check X` regresses
+	// against the previous contents, not the freshly written ones.
+	var baseline *Report
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench: read baseline:", err)
+			os.Exit(1)
+		}
+		baseline = &Report{}
+		if err := json.Unmarshal(data, baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench: parse baseline:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := &Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var err error
+	if rep.Fleet, err = benchFleet(*vms); err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu-bench: fleet:", err)
+		os.Exit(1)
+	}
+	if rep.SignatureCollection, err = benchSignatureCollection(); err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu-bench: signature collection:", err)
+		os.Exit(1)
+	}
+	rep.ServicePerf = benchServicePerf()
+	if rep.MVASolve, err = benchMVA(false); err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu-bench: mva:", err)
+		os.Exit(1)
+	}
+	if rep.MVAMemoized, err = benchMVA(true); err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu-bench: mva memo:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
+			os.Exit(1)
+		}
+		_ = f.Close()
+	}
+
+	if baseline != nil {
+		if err := check(rep, baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench: REGRESSION:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dejavu-bench: no regression vs %s (steps/s %.0f >= %.0f)\n",
+			*checkPath, rep.Fleet.StepsPerSec, baseline.Fleet.StepsPerSec*(1-*tolerance))
+	}
+}

@@ -35,7 +35,7 @@ func NewFixedMax(svc services.Service) *FixedMax {
 func (f *FixedMax) Name() string { return "fixedmax" }
 
 // Step implements sim.Controller.
-func (f *FixedMax) Step(obs sim.Observation) (sim.Action, error) {
+func (f *FixedMax) Step(obs *sim.Observation) (sim.Action, error) {
 	if obs.TargetAllocation.Equal(f.Allocation) {
 		return sim.Action{}, nil
 	}
@@ -78,7 +78,7 @@ func (a *Autopilot) Name() string { return "autopilot" }
 
 // Step implements sim.Controller: apply the allocation recorded for
 // this hour of day. The decision itself is instantaneous (a timer).
-func (a *Autopilot) Step(obs sim.Observation) (sim.Action, error) {
+func (a *Autopilot) Step(obs *sim.Observation) (sim.Action, error) {
 	hour := int(obs.Now/time.Hour) % 24
 	want := a.Schedule[hour]
 	if err := want.Validate(); err != nil {
@@ -146,7 +146,7 @@ func NewRightScale(typ cloud.InstanceType, min, max int, calm time.Duration) (*R
 func (r *RightScale) Name() string { return "rightscale" }
 
 // Step implements sim.Controller.
-func (r *RightScale) Step(obs sim.Observation) (sim.Action, error) {
+func (r *RightScale) Step(obs *sim.Observation) (sim.Action, error) {
 	// Within the calm period RightScale must "first observe the
 	// reconfigured service before it can take any other resizing
 	// action".
@@ -225,7 +225,7 @@ func NewRetuner(tuner core.Tuner) (*Retuner, error) {
 func (rt *Retuner) Name() string { return "retuner" }
 
 // Step implements sim.Controller.
-func (rt *Retuner) Step(obs sim.Observation) (sim.Action, error) {
+func (rt *Retuner) Step(obs *sim.Observation) (sim.Action, error) {
 	if obs.Now < rt.busyUntil {
 		return sim.Action{}, nil // still "running experiments"
 	}

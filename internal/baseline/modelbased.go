@@ -77,7 +77,7 @@ func NewModelBased(typ cloud.InstanceType, min, max int, slo services.SLO) (*Mod
 func (m *ModelBased) Name() string { return "modelbased" }
 
 // Step implements sim.Controller.
-func (m *ModelBased) Step(obs sim.Observation) (sim.Action, error) {
+func (m *ModelBased) Step(obs *sim.Observation) (sim.Action, error) {
 	if obs.Now < m.busyUntil {
 		return sim.Action{}, nil // model being (re)built and validated
 	}

@@ -130,7 +130,7 @@ func TestModelBasedWaitsForUsableObservation(t *testing.T) {
 		Allocation:       cloud.Allocation{Type: cloud.Large, Count: 2},
 		TargetAllocation: cloud.Allocation{Type: cloud.Large, Count: 2},
 	}
-	act, err := mb.Step(obs)
+	act, err := mb.Step(&obs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -205,6 +205,30 @@ func (d *Deployment) EffectiveCapacity(now time.Duration) float64 {
 	return d.current.Capacity() * (1 - d.interf.Fraction)
 }
 
+// Status returns the serving allocation, the most recently requested
+// allocation, and whether a change is still warming up, settling
+// pending work once — the simulation engine's per-step snapshot,
+// equivalent to calling Allocation, TargetAllocation, and InTransition
+// back to back.
+func (d *Deployment) Status(now time.Duration) (active, target Allocation, inTransition bool) {
+	d.settle(now)
+	if d.pending != nil {
+		return d.current, *d.pending, true
+	}
+	return d.current, d.current, false
+}
+
+// PendingReadyAt reports when the in-flight allocation change becomes
+// active; ok is false when nothing is pending. Combined with Status it
+// lets a caller cache the deployment snapshot between state-changing
+// events instead of re-querying every step.
+func (d *Deployment) PendingReadyAt() (readyAt time.Duration, ok bool) {
+	if d.pending == nil {
+		return 0, false
+	}
+	return d.readyAt, true
+}
+
 // Cost returns the accumulated bill up to the given time.
 func (d *Deployment) Cost(now time.Duration) float64 {
 	d.settle(now)

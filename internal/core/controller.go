@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/metrics"
 	"repro/internal/services"
 	"repro/internal/sim"
 )
@@ -62,6 +63,14 @@ type ControllerConfig struct {
 type Controller struct {
 	cfg ControllerConfig
 
+	// sigEvents is the repository's signature tuple, fetched once so
+	// every profiling round reuses the same slice (which also keys the
+	// profiler's monitor cache); sigScratch is the reusable signature
+	// the fast path samples into — together they make the steady-state
+	// profile+classify round allocation-free.
+	sigEvents  []metrics.Event
+	sigScratch Signature
+
 	lastProfile          time.Duration
 	lastDecision         time.Duration
 	currentClass         int
@@ -99,6 +108,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	}
 	return &Controller{
 		cfg:          cfg,
+		sigEvents:    cfg.Repository.EventsRef(),
 		lastProfile:  -1 << 62,
 		lastDecision: -1 << 62,
 		currentClass: -1,
@@ -109,7 +119,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 func (c *Controller) Name() string { return "dejavu" }
 
 // Step implements sim.Controller.
-func (c *Controller) Step(obs sim.Observation) (sim.Action, error) {
+func (c *Controller) Step(obs *sim.Observation) (sim.Action, error) {
 	if obs.InTransition {
 		return sim.Action{}, nil
 	}
@@ -140,11 +150,11 @@ func (c *Controller) Step(obs sim.Observation) (sim.Action, error) {
 
 // profileAndReuse collects a signature, classifies it, and reuses the
 // cached allocation.
-func (c *Controller) profileAndReuse(obs sim.Observation) (sim.Action, error) {
-	sig, err := c.cfg.Profiler.Profile(obs.Workload, c.cfg.Repository.Events())
-	if err != nil {
+func (c *Controller) profileAndReuse(obs *sim.Observation) (sim.Action, error) {
+	if err := c.cfg.Profiler.ProfileInto(obs.Workload, c.sigEvents, c.cfg.Profiler.Window, &c.sigScratch); err != nil {
 		return sim.Action{}, fmt.Errorf("core: runtime profiling: %w", err)
 	}
+	sig := &c.sigScratch
 
 	// Track the current interference level so the lookup lands in
 	// the right bucket even across workload-class changes.
@@ -181,7 +191,7 @@ func (c *Controller) profileAndReuse(obs sim.Observation) (sim.Action, error) {
 }
 
 // handleInterference runs the Eq. 2 feedback loop.
-func (c *Controller) handleInterference(obs sim.Observation) (sim.Action, error) {
+func (c *Controller) handleInterference(obs *sim.Observation) (sim.Action, error) {
 	bucket := c.estimateBucket(obs)
 	if bucket <= c.currentBucket {
 		// The estimate does not explain the violation with a higher
@@ -210,7 +220,7 @@ func (c *Controller) handleInterference(obs sim.Observation) (sim.Action, error)
 // then inverts the latency model to recover the contention fraction —
 // an allocation-invariant quantity, so the estimate stays stable after
 // a compensating allocation deploys.
-func (c *Controller) estimateBucket(obs sim.Observation) int {
+func (c *Controller) estimateBucket(obs *sim.Observation) int {
 	iso := c.cfg.Profiler.IsolationPerf(obs.Workload, obs.Allocation.Capacity())
 	index := InterferenceIndex(obs.Perf, iso)
 	fraction := EstimateInterferenceFraction(index, iso.Utilization)
@@ -232,7 +242,7 @@ func (c *Controller) tuneAndStore(w services.Workload, class, bucket int) (cloud
 
 // decide wraps an allocation change into an action and records the
 // adaptation time; unchanged allocations cost nothing.
-func (c *Controller) decide(obs sim.Observation, alloc cloud.Allocation, decisionTime time.Duration) sim.Action {
+func (c *Controller) decide(obs *sim.Observation, alloc cloud.Allocation, decisionTime time.Duration) sim.Action {
 	if alloc.Equal(obs.TargetAllocation) {
 		return sim.Action{}
 	}
@@ -275,6 +285,7 @@ func (c *Controller) ReplaceRepository(repo *Repository) error {
 		return errors.New("core: nil repository")
 	}
 	c.cfg.Repository = repo
+	c.sigEvents = repo.EventsRef()
 	c.consecutiveUnforseen = 0
 	c.currentClass = -1
 	c.currentBucket = 0

@@ -58,7 +58,7 @@ func NewRelearner(ctl *Controller, learnTemplate LearnConfig) (*Relearner, error
 func (r *Relearner) Name() string { return "dejavu-relearn" }
 
 // Step implements sim.Controller.
-func (r *Relearner) Step(obs sim.Observation) (sim.Action, error) {
+func (r *Relearner) Step(obs *sim.Observation) (sim.Action, error) {
 	// Keep a sliding window of recent hourly workloads — the
 	// re-learning corpus.
 	if obs.Now-r.lastRecorded >= r.Controller.cfg.ProfileInterval {

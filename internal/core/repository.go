@@ -78,6 +78,10 @@ type Repository struct {
 	// certaintyThreshold is the minimum classifier confidence for a
 	// cache hit.
 	certaintyThreshold float64
+	// rowPool recycles standardize scratch rows so concurrent Classify
+	// calls stay allocation-free; entries are *[]float64 of signature
+	// width.
+	rowPool sync.Pool
 	// stats
 	hits, misses atomic.Int64
 }
@@ -130,6 +134,7 @@ func NewRepository(events []metrics.Event, std *ml.Standardizer, clf ml.Classifi
 	if certaintyThreshold == 0 {
 		certaintyThreshold = 0.6
 	}
+	width := len(events)
 	r := &Repository{
 		events:             append([]metrics.Event(nil), events...),
 		standardizer:       std,
@@ -138,16 +143,26 @@ func NewRepository(events []metrics.Event, std *ml.Standardizer, clf ml.Classifi
 		noveltyRadius:      append([]float64(nil), noveltyRadius...),
 		certaintyThreshold: certaintyThreshold,
 	}
+	r.rowPool.New = func() any {
+		row := make([]float64, width)
+		return &row
+	}
 	for i := range r.shards {
 		r.shards[i].entries = make(map[repoKey]cloud.Allocation)
 	}
 	return r, nil
 }
 
-// Events returns the signature metric tuple.
+// Events returns a copy of the signature metric tuple.
 func (r *Repository) Events() []metrics.Event {
 	return append([]metrics.Event(nil), r.events...)
 }
+
+// EventsRef returns the signature metric tuple without copying. The
+// slice is immutable after construction; callers must treat it as
+// read-only. Hot loops use it so repeated profiling rounds share one
+// event tuple (which also keys the profiler's monitor cache).
+func (r *Repository) EventsRef() []metrics.Event { return r.events }
 
 // Classes returns the number of workload classes.
 func (r *Repository) Classes() int { return len(r.centroids) }
@@ -194,7 +209,10 @@ func (r *Repository) Classify(sig *Signature) (class int, certainty float64, unf
 	if len(sig.Values) != len(r.events) {
 		return 0, 0, false, fmt.Errorf("core: signature width %d, repository expects %d", len(sig.Values), len(r.events))
 	}
-	row := r.standardizer.Transform(sig.Values)
+	rowPtr := r.rowPool.Get().(*[]float64)
+	defer r.rowPool.Put(rowPtr)
+	row := *rowPtr
+	r.standardizer.TransformInto(row, sig.Values)
 	class, certainty = r.classifier.PredictProba(row)
 
 	// Novelty: distance to the nearest centroid must be within the

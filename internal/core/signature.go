@@ -58,6 +58,15 @@ type Profiler struct {
 
 	// rng seeds per-query monitors.
 	rng *rand.Rand
+
+	// Reusable hot-path state. A profiler serves one controller
+	// goroutine, so the scratch needs no locking: src avoids boxing a
+	// fresh source per sample, and queryMon caches the monitor built
+	// for the last explicit event set (keyed by slice identity —
+	// callers pass the same signature tuple every round).
+	src      services.ProfileSource
+	queryMon *metrics.Monitor
+	queryEvs []metrics.Event
 }
 
 // DefaultSignatureWindow is the paper's ~10 s signature collection
@@ -103,7 +112,28 @@ func (p *Profiler) Profile(w services.Workload, events []metrics.Event) (*Signat
 // selected signature events, which fit the registers, so 10 s
 // suffices there.
 func (p *Profiler) ProfileWindow(w services.Workload, events []metrics.Event, window time.Duration) (*Signature, error) {
-	src := services.ProfileSource{Service: p.Service, Workload: w, Instances: p.RefInstances}
+	var sig Signature
+	if err := p.ProfileInto(w, events, window, &sig); err != nil {
+		return nil, err
+	}
+	// Detach from profiler-owned storage: ProfileWindow hands
+	// ownership of the signature to the caller.
+	sig.Events = append([]metrics.Event(nil), sig.Events...)
+	return &sig, nil
+}
+
+// ProfileInto is the allocation-free fast path of ProfileWindow: it
+// reuses sig's value buffer and the monitor built for the last event
+// set, so a steady-state profiling round performs no heap allocation.
+// sig.Events aliases the profiler's event set (events when non-nil,
+// the full-catalog monitor's otherwise); callers that retain the
+// signature beyond the next ProfileInto call must copy it. The noise
+// stream and arithmetic are identical to ProfileWindow, so fixed-seed
+// results are bit-identical to the legacy path.
+func (p *Profiler) ProfileInto(w services.Workload, events []metrics.Event, window time.Duration, sig *Signature) error {
+	p.src.Service = p.Service
+	p.src.Workload = w
+	p.src.Instances = p.RefInstances
 	// Program the registers with exactly the requested events: a
 	// short runtime sample of a handful of signature events fits the
 	// registers and stays clean, while sampling the whole catalog
@@ -113,21 +143,37 @@ func (p *Profiler) ProfileWindow(w services.Workload, events []metrics.Event, wi
 	if evs == nil {
 		evs = p.Monitor.Events
 	} else {
-		var err error
-		if mon, err = metrics.NewMonitor(evs, p.rng); err != nil {
-			return nil, err
+		if !sameEvents(evs, p.queryEvs) {
+			m, err := metrics.NewMonitor(evs, p.rng)
+			if err != nil {
+				return err
+			}
+			p.queryMon, p.queryEvs = m, evs
 		}
+		mon = p.queryMon
+		// The profiling host's register bank and noise floor may be
+		// adjusted between rounds; mirror them on every sample like
+		// the per-call monitors used to.
 		mon.Bank = p.Monitor.Bank
 		mon.BaseNoise = p.Monitor.BaseNoise
 	}
-	sample, err := mon.Sample(src, window)
-	if err != nil {
-		return nil, err
+	if cap(sig.Values) < len(evs) {
+		sig.Values = make([]float64, len(evs))
 	}
-	return &Signature{
-		Events: append([]metrics.Event(nil), evs...),
-		Values: sample.Vector(evs),
-	}, nil
+	sig.Values = sig.Values[:len(evs)]
+	if err := mon.SampleVector(&p.src, window, sig.Values); err != nil {
+		return err
+	}
+	sig.Events = evs
+	return nil
+}
+
+// sameEvents reports whether two event slices share identity (same
+// backing array and length) — the cheap cache key for the query
+// monitor. Callers that rebuild their event slice per call simply miss
+// the cache and pay the legacy construction cost.
+func sameEvents(a, b []metrics.Event) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }
 
 // ProfileN collects n signatures over the given window (the paper

@@ -74,7 +74,7 @@ func Figure4(opts Options) (*Figure4Result, error) {
 		groups := make(map[string][]float64)
 		for _, mix := range c.mixes {
 			for _, vol := range figure4Volumes {
-				src := services.ProfileSource{
+				src := &services.ProfileSource{
 					Service:   c.svc,
 					Workload:  services.Workload{Clients: vol, Mix: mix},
 					Instances: c.svc.MaxAllocation().Count,

@@ -109,7 +109,70 @@ func init() {
 		{EvXenVBDWr, "xentop: virtual block device writes", false},
 	}
 	catalog = append(catalog, xen...)
+
+	// Dense index: HPC events first, then xentop, each group in catalog
+	// order — the same order AllEvents returns. The index is what the
+	// allocation-free hot path addresses Rates vectors with.
+	denseOrder = denseOrder[:0]
+	for _, e := range catalog {
+		if e.HPC {
+			denseOrder = append(denseOrder, e)
+		}
+	}
+	numHPC = len(denseOrder)
+	for _, e := range catalog {
+		if !e.HPC {
+			denseOrder = append(denseOrder, e)
+		}
+	}
+	eventIndex = make(map[Event]int, len(denseOrder))
+	hpcByIndex = make([]bool, len(denseOrder))
+	eventByIndex = make([]Event, len(denseOrder))
+	for i, e := range denseOrder {
+		eventIndex[e.Event] = i
+		hpcByIndex[i] = e.HPC
+		eventByIndex[i] = e.Event
+	}
 }
+
+// Dense-index tables, built once at init. The catalog is immutable
+// after init, so reads need no synchronization.
+var (
+	denseOrder   []EventInfo
+	eventIndex   map[Event]int
+	eventByIndex []Event
+	hpcByIndex   []bool
+	numHPC       int
+)
+
+// NumEvents returns the size of the event universe — the length of
+// every dense Rates vector.
+func NumEvents() int { return len(denseOrder) }
+
+// Index returns the dense integer index of an event (HPC events first,
+// then xentop, each group in catalog order) and -1 for unknown events.
+// The mapping is fixed at init, so callers may resolve indices once and
+// address Rates vectors directly afterwards.
+func Index(ev Event) int {
+	if i, ok := eventIndex[ev]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex is Index for events known to be in the catalog; it panics
+// on unknown events. Use it for package-level index constants.
+func MustIndex(ev Event) int {
+	i := Index(ev)
+	if i < 0 {
+		panic("metrics: unknown event " + string(ev))
+	}
+	return i
+}
+
+// EventAt returns the event at a dense index; it panics when the index
+// is out of range.
+func EventAt(i int) Event { return eventByIndex[i] }
 
 // Catalog returns a copy of the full event catalog.
 func Catalog() []EventInfo {
@@ -118,41 +181,30 @@ func Catalog() []EventInfo {
 
 // HPCEvents returns the names of all hardware counter events.
 func HPCEvents() []Event {
-	var out []Event
-	for _, e := range catalog {
-		if e.HPC {
-			out = append(out, e.Event)
-		}
-	}
-	return out
+	return append([]Event(nil), eventByIndex[:numHPC]...)
 }
 
 // XentopEvents returns the names of all xentop software metrics.
 func XentopEvents() []Event {
-	var out []Event
-	for _, e := range catalog {
-		if !e.HPC {
-			out = append(out, e.Event)
-		}
-	}
-	return out
+	return append([]Event(nil), eventByIndex[numHPC:]...)
 }
 
 // AllEvents returns every event name, HPC first, then xentop, each group
-// in catalog order.
+// in catalog order — i.e. dense-index order: AllEvents()[i] has Index i.
 func AllEvents() []Event {
-	return append(HPCEvents(), XentopEvents()...)
+	return append([]Event(nil), eventByIndex...)
 }
 
 // IsHPC reports whether the event is a hardware counter (true) or a
 // xentop software metric (false). Unknown events report false.
 func IsHPC(ev Event) bool {
-	for _, e := range catalog {
-		if e.Event == ev {
-			return e.HPC
-		}
-	}
-	return false
+	i, ok := eventIndex[ev]
+	return ok && hpcByIndex[i]
+}
+
+// IsHPCIndex is IsHPC for a pre-resolved dense index.
+func IsHPCIndex(i int) bool {
+	return i >= 0 && i < len(hpcByIndex) && hpcByIndex[i]
 }
 
 // SortEvents sorts events lexicographically in place and returns them;

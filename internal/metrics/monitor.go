@@ -16,6 +16,15 @@ type Source interface {
 	Rates() map[Event]float64
 }
 
+// VectorSource is the allocation-free fast path of Source: the source
+// writes its reading into a caller-provided dense Rates vector instead
+// of materializing a map. Sources that implement it are read through
+// RatesInto by the Monitor's vector sampling path.
+type VectorSource interface {
+	Source
+	RatesInto(dst *Rates)
+}
+
 // StaticSource is a fixed-rate Source, handy for tests.
 type StaticSource map[Event]float64
 
@@ -79,7 +88,9 @@ func (s *Sample) Vector(events []Event) []float64 {
 // window so that signatures generalize "across workloads regardless of
 // how long the sampling takes" (paper §3.3).
 type Monitor struct {
-	// Events is the set of events to monitor.
+	// Events is the set of events to monitor. Treat the slice as
+	// immutable once sampling has started: the monitor pre-resolves
+	// dense indices for it.
 	Events []Event
 	// Bank constrains simultaneous HPC monitoring; nil means
 	// DefaultBank.
@@ -90,6 +101,36 @@ type Monitor struct {
 	BaseNoise float64
 	// Rng supplies measurement noise; required.
 	Rng *rand.Rand
+
+	// Pre-resolved per-event dense indices and HPC flags, plus a
+	// scratch vector for VectorSource readings. Built lazily so
+	// hand-assembled Monitor literals keep working; rebuilt when the
+	// Events slice is replaced (identity check — mutating the slice
+	// contents in place is not supported).
+	resolvedFor []Event
+	evIdx       []int
+	evHPC       []bool
+	nHPC        int
+	scratch     *Rates
+}
+
+// resolve (re)builds the dense-index tables for the current event set.
+func (m *Monitor) resolve() {
+	if len(m.resolvedFor) == len(m.Events) &&
+		(len(m.Events) == 0 || &m.resolvedFor[0] == &m.Events[0]) {
+		return
+	}
+	m.resolvedFor = m.Events
+	m.evIdx = make([]int, len(m.Events))
+	m.evHPC = make([]bool, len(m.Events))
+	m.nHPC = 0
+	for i, ev := range m.Events {
+		m.evIdx[i] = Index(ev)
+		m.evHPC[i] = IsHPCIndex(m.evIdx[i])
+		if m.evHPC[i] {
+			m.nHPC++
+		}
+	}
 }
 
 // NewMonitor returns a Monitor over the given events with the default
@@ -114,51 +155,88 @@ func NewMonitor(events []Event, rng *rand.Rand) (*Monitor, error) {
 // multiplexing noise; xentop metrics are software-read and only carry
 // base noise. Window must be positive.
 func (m *Monitor) Sample(src Source, window time.Duration) (*Sample, error) {
+	values := make([]float64, len(m.Events))
+	if err := m.SampleVector(src, window, values); err != nil {
+		return nil, err
+	}
+	out := make(map[Event]float64, len(m.Events))
+	for i, ev := range m.Events {
+		out[ev] = values[i]
+	}
+	return &Sample{Values: out, Window: window}, nil
+}
+
+// SampleVector is the allocation-free fast path of Sample: it writes
+// the normalized per-second values into dst, aligned with m.Events
+// (dst must have the same length). The noise model, RNG consumption
+// order, and arithmetic are identical to Sample, so at a fixed seed
+// the two paths produce bit-identical readings. Sources implementing
+// VectorSource are read through a reusable dense Rates scratch and the
+// whole call performs no heap allocation.
+func (m *Monitor) SampleVector(src Source, window time.Duration, dst []float64) error {
 	if window <= 0 {
-		return nil, fmt.Errorf("metrics: non-positive sampling window %v", window)
+		return fmt.Errorf("metrics: non-positive sampling window %v", window)
 	}
 	if src == nil {
-		return nil, errors.New("metrics: nil source")
+		return errors.New("metrics: nil source")
 	}
+	if len(dst) != len(m.Events) {
+		return fmt.Errorf("metrics: dst length %d, monitoring %d events", len(dst), len(m.Events))
+	}
+	m.resolve()
 	bank := m.Bank
 	if bank == nil {
 		bank = DefaultBank()
 	}
-
-	nHPC := 0
-	for _, ev := range m.Events {
-		if IsHPC(ev) {
-			nHPC++
-		}
-	}
-	mux := bank.MultiplexFactor(nHPC)
+	mux := bank.MultiplexFactor(m.nHPC)
 	muxNoise := 0.0
 	if mux > 1 {
 		muxNoise = bank.MultiplexNoise * (mux - 1)
 	}
 
-	rates := src.Rates()
-	values := make(map[Event]float64, len(m.Events))
-	for _, ev := range m.Events {
-		rate := rates[ev]
+	// Prefer the dense vector reading; fall back to the legacy map for
+	// sources that only implement Rates (including sources emitting
+	// events outside the catalog, which have no dense index).
+	var vec *Rates
+	var rates map[Event]float64
+	if vs, ok := src.(VectorSource); ok {
+		if m.scratch == nil {
+			m.scratch = NewRates()
+		}
+		vs.RatesInto(m.scratch)
+		vec = m.scratch
+	} else {
+		rates = src.Rates()
+	}
+
+	// Noise shrinks with longer windows (more samples average out):
+	// scale by 1/sqrt(window seconds), floored at 1s.
+	secs := window.Seconds()
+	if secs < 1 {
+		secs = 1
+	}
+	sqrtSecs := math.Sqrt(secs)
+	for i := range m.Events {
+		var rate float64
+		if vec != nil {
+			if idx := m.evIdx[i]; idx >= 0 {
+				rate = vec.At(idx)
+			}
+		} else {
+			rate = rates[m.Events[i]]
+		}
 		noise := m.BaseNoise
-		if IsHPC(ev) {
+		if m.evHPC[i] {
 			noise += muxNoise
 		}
-		// Noise shrinks with longer windows (more samples average
-		// out): scale by 1/sqrt(window seconds), floored at 1s.
-		secs := window.Seconds()
-		if secs < 1 {
-			secs = 1
-		}
-		sd := noise / math.Sqrt(secs)
+		sd := noise / sqrtSecs
 		observed := rate * (1 + m.Rng.NormFloat64()*sd)
 		if observed < 0 {
 			observed = 0
 		}
-		values[ev] = observed
+		dst[i] = observed
 	}
-	return &Sample{Values: values, Window: window}, nil
+	return nil
 }
 
 // SampleN collects n samples and returns them; convenience for building

@@ -1,0 +1,86 @@
+package metrics
+
+// Rates is a dense per-second event-rate vector indexed by the dense
+// event index (see Index). It is the allocation-free counterpart of
+// map[Event]float64: a source fills one Rates value per reading and the
+// Monitor reads it back by pre-resolved indices, so the steady-state
+// hot path touches no maps and allocates nothing.
+//
+// The generation counter distinguishes "filled this reading" from
+// stale leftovers: Fill bumps the generation instead of zeroing the
+// vector, so refilling costs O(1) plus the writes the source actually
+// performs. Today's service sources start every reading with SetAll
+// (which marks everything current), so the per-entry marks look
+// redundant — they stay because they are what makes a PARTIAL reading
+// (Fill + a few Sets, the map-semantics "missing reads 0") correct
+// rather than silently serving the previous reading's values, and the
+// extra mark writes sit on the per-profile-round path (~1/60 of
+// simulation steps), not the per-step one. A Rates value is owned by
+// a single goroutine.
+type Rates struct {
+	values []float64
+	filled []uint32
+	gen    uint32
+}
+
+// NewRates returns a Rates vector sized to the full event universe.
+func NewRates() *Rates {
+	n := NumEvents()
+	return &Rates{values: make([]float64, n), filled: make([]uint32, n)}
+}
+
+// Len returns the vector length (NumEvents at construction time).
+func (r *Rates) Len() int { return len(r.values) }
+
+// Generation returns the current fill generation; it changes on every
+// Fill, letting callers detect reuse of a stale snapshot.
+func (r *Rates) Generation() uint32 { return r.gen }
+
+// Fill starts a new reading: all entries read as 0 until Set again.
+func (r *Rates) Fill() {
+	r.gen++
+	if r.gen == 0 {
+		// Generation wrapped: the filled marks from 2^32 readings ago
+		// would alias the new generation, so clear them once.
+		for i := range r.filled {
+			r.filled[i] = 0
+		}
+		r.gen = 1
+	}
+}
+
+// Set stores the rate at a dense index for the current generation.
+func (r *Rates) Set(i int, v float64) {
+	r.values[i] = v
+	r.filled[i] = r.gen
+}
+
+// At returns the rate at a dense index, or 0 when the entry was not
+// Set since the last Fill (mirroring a map's missing-key read).
+func (r *Rates) At(i int) float64 {
+	if r.filled[i] != r.gen {
+		return 0
+	}
+	return r.values[i]
+}
+
+// SetAll copies src (len NumEvents, dense order) as the current
+// generation's reading in one shot.
+func (r *Rates) SetAll(src []float64) {
+	r.Fill()
+	copy(r.values, src)
+	for i := range r.filled {
+		r.filled[i] = r.gen
+	}
+}
+
+// ToMap converts the current reading to the legacy map representation;
+// entries not Set since the last Fill are included as 0 so the map
+// covers the full event universe like the map-based sources do.
+func (r *Rates) ToMap() map[Event]float64 {
+	out := make(map[Event]float64, len(r.values))
+	for i := range r.values {
+		out[EventAt(i)] = r.At(i)
+	}
+	return out
+}

@@ -156,10 +156,16 @@ func FitStandardizer(d *Dataset) (*Standardizer, error) {
 // Transform returns a standardized copy of row.
 func (s *Standardizer) Transform(row []float64) []float64 {
 	out := make([]float64, len(row))
-	for j := range row {
-		out[j] = (row[j] - s.Means[j]) / s.Stds[j]
-	}
+	s.TransformInto(out, row)
 	return out
+}
+
+// TransformInto standardizes row into dst, which must have the same
+// length; the allocation-free path for hot classification loops.
+func (s *Standardizer) TransformInto(dst, row []float64) {
+	for j := range row {
+		dst[j] = (row[j] - s.Means[j]) / s.Stds[j]
+	}
 }
 
 // TransformDataset returns a standardized copy of d.

@@ -172,8 +172,11 @@ func (nw *Network) RequiredCapacityFactor(n int, maxResponse, lo, hi float64) (f
 	if maxResponse <= 0 || lo <= 0 || hi < lo {
 		return 0, errors.New("queueing: bad search parameters")
 	}
+	// One scaled network reused across every probe: the binary search
+	// evaluates ~50 candidate factors and each used to allocate a fresh
+	// Network plus demands slice.
+	scaled := &Network{Demands: make([]float64, len(nw.Demands)), ThinkTime: nw.ThinkTime}
 	meets := func(c float64) bool {
-		scaled := &Network{Demands: make([]float64, len(nw.Demands)), ThinkTime: nw.ThinkTime}
 		for i, d := range nw.Demands {
 			scaled.Demands[i] = d / c
 		}

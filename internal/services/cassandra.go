@@ -80,35 +80,40 @@ func (c *Cassandra) Perf(w Workload, capacity float64) Perf {
 	return Perf{LatencyMs: lat, QoSPercent: 100, Utilization: rho}
 }
 
-// MetricRates implements Service. The informative events respond to
-// per-instance volume and the read/write split; everything else stays
-// at its background rate.
+// MetricRates implements Service: the legacy map API, a thin adapter
+// over the dense MetricRatesInto path.
 func (c *Cassandra) MetricRates(w Workload, instances int) map[metrics.Event]float64 {
+	return ratesMap(c, w, instances)
+}
+
+// MetricRatesInto implements Service. The informative events respond
+// to per-instance volume and the read/write split; everything else
+// stays at its background rate.
+func (c *Cassandra) MetricRatesInto(w Workload, instances int, dst *metrics.Rates) {
 	n := float64(validateInstances(instances))
 	v := w.Clients / n // per-instance volume
 	m := w.Mix
-	rates := baseRates()
+	baseRatesInto(dst)
 
 	write := 1 - m.ReadFraction
-	rates[metrics.EvFlopsRate] = 1e4 * v * m.FPWeight
-	rates[metrics.EvCPUClkUnhalt] = 2e6*v*m.CPUWeight + 1e7
-	rates[metrics.EvL2St] = 5e4 * v * write * m.MemWeight
-	rates[metrics.EvLoadBlock] = 3e4 * v * m.ReadFraction * m.MemWeight
-	rates[metrics.EvStoreBlock] = 4e4 * v * write * m.MemWeight
-	rates[metrics.EvPageWalks] = 2e4 * v * m.MemWeight
-	rates[metrics.EvL2Ads] = 1e4 * v * (0.5 + write)
-	rates[metrics.EvL2RejectBusq] = 10 * v * v * m.MemWeight // contention grows superlinearly
-	rates[metrics.EvBusqEmpty] = clampMin(5e6-3e4*v*m.CPUWeight, 0)
-	rates[metrics.EvL1DRepl] = 2.5e4 * v * m.MemWeight
-	rates[metrics.EvDTLBMiss] = 1.2e3 * v * m.MemWeight
+	dst.Set(idxFlops, 1e4*v*m.FPWeight)
+	dst.Set(idxCPUClk, 2e6*v*m.CPUWeight+1e7)
+	dst.Set(idxL2St, 5e4*v*write*m.MemWeight)
+	dst.Set(idxLoadBlock, 3e4*v*m.ReadFraction*m.MemWeight)
+	dst.Set(idxStoreBlock, 4e4*v*write*m.MemWeight)
+	dst.Set(idxPageWalks, 2e4*v*m.MemWeight)
+	dst.Set(idxL2Ads, 1e4*v*(0.5+write))
+	dst.Set(idxL2Reject, 10*v*v*m.MemWeight) // contention grows superlinearly
+	dst.Set(idxBusqEmpty, clampMin(5e6-3e4*v*m.CPUWeight, 0))
+	dst.Set(idxL1DRepl, 2.5e4*v*m.MemWeight)
+	dst.Set(idxDTLBMiss, 1.2e3*v*m.MemWeight)
 
-	rates[metrics.EvXenCPU] = clampMax(100*v/c.PerUnitClients, 100)
-	rates[metrics.EvXenMem] = 2.5e5 + 500*v*m.MemWeight
-	rates[metrics.EvXenNetTx] = 40 * v
-	rates[metrics.EvXenNetRx] = 45 * v
-	rates[metrics.EvXenVBDRd] = 20 * v * m.ReadFraction * m.IOWeight
-	rates[metrics.EvXenVBDWr] = 25 * v * write * m.IOWeight
-	return rates
+	dst.Set(idxXenCPU, clampMax(100*v/c.PerUnitClients, 100))
+	dst.Set(idxXenMem, 2.5e5+500*v*m.MemWeight)
+	dst.Set(idxXenNetTx, 40*v)
+	dst.Set(idxXenNetRx, 45*v)
+	dst.Set(idxXenVBDRd, 20*v*m.ReadFraction*m.IOWeight)
+	dst.Set(idxXenVBDWr, 25*v*write*m.IOWeight)
 }
 
 // MaxAllocation implements Service: 10 large instances.

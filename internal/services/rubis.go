@@ -71,35 +71,40 @@ func (r *RUBiS) Perf(w Workload, capacity float64) Perf {
 	return Perf{LatencyMs: lat, QoSPercent: 100, Utilization: rho}
 }
 
-// MetricRates implements Service. The mapping is built so that the
+// MetricRates implements Service: the legacy map API, a thin adapter
+// over the dense MetricRatesInto path.
+func (r *RUBiS) MetricRates(w Workload, instances int) map[metrics.Event]float64 {
+	return ratesMap(r, w, instances)
+}
+
+// MetricRatesInto implements Service. The mapping is built so that the
 // eight Table 1 counters carry the workload information: CPU
 // (cpu_clk_unhalted), cache (l2_ads, l2_reject_busq, l2_st), memory
 // (load_block, store_block, page_walks), and the bus queue
 // (busq_empty).
-func (r *RUBiS) MetricRates(w Workload, instances int) map[metrics.Event]float64 {
+func (r *RUBiS) MetricRatesInto(w Workload, instances int, dst *metrics.Rates) {
 	n := float64(validateInstances(instances))
 	v := w.Clients / n
 	m := w.Mix
-	rates := baseRates()
+	baseRatesInto(dst)
 
 	write := 1 - m.ReadFraction
-	rates[metrics.EvCPUClkUnhalt] = 1.8e6*v*m.CPUWeight + 9e6
-	rates[metrics.EvL2Ads] = 2e4 * v * m.MemWeight
-	rates[metrics.EvL2RejectBusq] = 12 * v * v * m.MemWeight
-	rates[metrics.EvL2St] = 4e4 * v * write * m.MemWeight
-	rates[metrics.EvLoadBlock] = 2.5e4 * v * m.ReadFraction * m.MemWeight
-	rates[metrics.EvStoreBlock] = 3e4 * v * write * m.MemWeight
-	rates[metrics.EvPageWalks] = 1.5e4 * v * m.MemWeight
-	rates[metrics.EvBusqEmpty] = clampMin(6e6-4e4*v*m.CPUWeight, 0)
-	rates[metrics.EvFlopsRate] = 8e3 * v * m.FPWeight
+	dst.Set(idxCPUClk, 1.8e6*v*m.CPUWeight+9e6)
+	dst.Set(idxL2Ads, 2e4*v*m.MemWeight)
+	dst.Set(idxL2Reject, 12*v*v*m.MemWeight)
+	dst.Set(idxL2St, 4e4*v*write*m.MemWeight)
+	dst.Set(idxLoadBlock, 2.5e4*v*m.ReadFraction*m.MemWeight)
+	dst.Set(idxStoreBlock, 3e4*v*write*m.MemWeight)
+	dst.Set(idxPageWalks, 1.5e4*v*m.MemWeight)
+	dst.Set(idxBusqEmpty, clampMin(6e6-4e4*v*m.CPUWeight, 0))
+	dst.Set(idxFlops, 8e3*v*m.FPWeight)
 
-	rates[metrics.EvXenCPU] = clampMax(100*v/r.PerUnitClients, 100)
-	rates[metrics.EvXenMem] = 2e5 + 400*v*m.MemWeight
-	rates[metrics.EvXenNetTx] = 60 * v
-	rates[metrics.EvXenNetRx] = 25 * v
-	rates[metrics.EvXenVBDRd] = 30 * v * m.ReadFraction * m.IOWeight
-	rates[metrics.EvXenVBDWr] = 15 * v * write * m.IOWeight
-	return rates
+	dst.Set(idxXenCPU, clampMax(100*v/r.PerUnitClients, 100))
+	dst.Set(idxXenMem, 2e5+400*v*m.MemWeight)
+	dst.Set(idxXenNetTx, 60*v)
+	dst.Set(idxXenNetRx, 25*v)
+	dst.Set(idxXenVBDRd, 30*v*m.ReadFraction*m.IOWeight)
+	dst.Set(idxXenVBDWr, 15*v*write*m.IOWeight)
 }
 
 // MaxAllocation implements Service.

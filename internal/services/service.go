@@ -106,8 +106,15 @@ type Service interface {
 	// MetricRates returns the true per-second low-level event rates
 	// observed on ONE instance when the workload is spread over the
 	// given number of instances. The DejaVu profiler samples these
-	// through a metrics.Monitor.
+	// through a metrics.Monitor. This is the legacy map API; the hot
+	// path uses MetricRatesInto.
 	MetricRates(w Workload, instances int) map[metrics.Event]float64
+	// MetricRatesInto is the allocation-free fast path of MetricRates:
+	// it writes the same rates into a caller-provided dense vector
+	// (indexed by metrics.Index). Implementations must produce values
+	// exactly equal to MetricRates — the dense/map property test
+	// enforces bit-equality.
+	MetricRatesInto(w Workload, instances int, dst *metrics.Rates)
 	// MaxAllocation is the full-capacity configuration — DejaVu's
 	// fallback for unclassifiable workloads and the paper's
 	// fixed overprovisioning baseline.
@@ -180,13 +187,25 @@ type ProfileSource struct {
 }
 
 // Rates implements metrics.Source.
-func (p ProfileSource) Rates() map[metrics.Event]float64 {
+func (p *ProfileSource) Rates() map[metrics.Event]float64 {
 	n := p.Instances
 	if n <= 0 {
 		n = 1
 	}
 	return p.Service.MetricRates(p.Workload, n)
 }
+
+// RatesInto implements metrics.VectorSource, the allocation-free path
+// the Monitor samples through at runtime.
+func (p *ProfileSource) RatesInto(dst *metrics.Rates) {
+	n := p.Instances
+	if n <= 0 {
+		n = 1
+	}
+	p.Service.MetricRatesInto(p.Workload, n, dst)
+}
+
+var _ metrics.VectorSource = (*ProfileSource)(nil)
 
 // fillerRate gives synthetic filler events a fixed, workload-independent
 // background rate derived from the event name, so they are stable but
@@ -198,15 +217,60 @@ func fillerRate(ev metrics.Event) float64 {
 	return 100 + float64(h.Sum32()%9000)
 }
 
-// baseRates fills every catalog event with its background rate;
-// services then overwrite the informative events.
-func baseRates() map[metrics.Event]float64 {
-	out := make(map[metrics.Event]float64, 70)
-	for _, ev := range metrics.AllEvents() {
-		out[ev] = fillerRate(ev)
+// baseVector is the background-rate table, indexed by dense event
+// index. It is workload-independent, so it is built exactly once at
+// package init — per-call fnv hashing of 60+ event names was a
+// measurable slice of the profiling hot path.
+var baseVector []float64
+
+func init() {
+	evs := metrics.AllEvents()
+	baseVector = make([]float64, len(evs))
+	for _, ev := range evs {
+		baseVector[metrics.Index(ev)] = fillerRate(ev)
 	}
-	return out
 }
+
+// baseRatesInto starts a dense reading with every event at its
+// background rate; services then overwrite the informative events.
+func baseRatesInto(dst *metrics.Rates) {
+	dst.SetAll(baseVector)
+}
+
+// ratesMap adapts the dense MetricRatesInto path to the legacy
+// map-returning MetricRates API — one implementation of the rate
+// formulas, two views of the result.
+func ratesMap(s Service, w Workload, instances int) map[metrics.Event]float64 {
+	r := metrics.NewRates()
+	s.MetricRatesInto(w, instances, r)
+	return r.ToMap()
+}
+
+// Dense indices of the informative events, resolved once so the
+// MetricRatesInto implementations address the rate vector directly.
+var (
+	idxFlops       = metrics.MustIndex(metrics.EvFlopsRate)
+	idxCPUClk      = metrics.MustIndex(metrics.EvCPUClkUnhalt)
+	idxL2Ads       = metrics.MustIndex(metrics.EvL2Ads)
+	idxL2Reject    = metrics.MustIndex(metrics.EvL2RejectBusq)
+	idxL2St        = metrics.MustIndex(metrics.EvL2St)
+	idxLoadBlock   = metrics.MustIndex(metrics.EvLoadBlock)
+	idxStoreBlock  = metrics.MustIndex(metrics.EvStoreBlock)
+	idxPageWalks   = metrics.MustIndex(metrics.EvPageWalks)
+	idxBusqEmpty   = metrics.MustIndex(metrics.EvBusqEmpty)
+	idxL1DRepl     = metrics.MustIndex(metrics.EvL1DRepl)
+	idxDTLBMiss    = metrics.MustIndex(metrics.EvDTLBMiss)
+	idxInstRetired = metrics.MustIndex(metrics.EvInstRetired)
+	idxBrInst      = metrics.MustIndex(metrics.EvBrInstRetired)
+	idxBrMisp      = metrics.MustIndex(metrics.EvBrMispredict)
+	idxL2Lines     = metrics.MustIndex(metrics.EvL2Lines)
+	idxXenCPU      = metrics.MustIndex(metrics.EvXenCPU)
+	idxXenMem      = metrics.MustIndex(metrics.EvXenMem)
+	idxXenNetTx    = metrics.MustIndex(metrics.EvXenNetTx)
+	idxXenNetRx    = metrics.MustIndex(metrics.EvXenNetRx)
+	idxXenVBDRd    = metrics.MustIndex(metrics.EvXenVBDRd)
+	idxXenVBDWr    = metrics.MustIndex(metrics.EvXenVBDWr)
+)
 
 func validateInstances(instances int) int {
 	if instances <= 0 {

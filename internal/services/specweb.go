@@ -85,34 +85,39 @@ func (s *SPECWeb) Perf(w Workload, capacity float64) Perf {
 	return Perf{LatencyMs: lat, QoSPercent: qos, Utilization: rho}
 }
 
-// MetricRates implements Service. The support workload is I/O- and
+// MetricRates implements Service: the legacy map API, a thin adapter
+// over the dense MetricRatesInto path.
+func (s *SPECWeb) MetricRates(w Workload, instances int) map[metrics.Event]float64 {
+	return ratesMap(s, w, instances)
+}
+
+// MetricRatesInto implements Service. The support workload is I/O- and
 // network-heavy, so the disk and network events dominate its
 // signature; the FP-heavy banking mix lights up the flops counter
 // instead (Fig. 4a).
-func (s *SPECWeb) MetricRates(w Workload, instances int) map[metrics.Event]float64 {
+func (s *SPECWeb) MetricRatesInto(w Workload, instances int, dst *metrics.Rates) {
 	n := float64(validateInstances(instances))
 	v := w.Clients / n
 	m := w.Mix
-	rates := baseRates()
+	baseRatesInto(dst)
 
 	write := 1 - m.ReadFraction
-	rates[metrics.EvFlopsRate] = 2e4 * v * m.FPWeight
-	rates[metrics.EvCPUClkUnhalt] = 1.5e6*v*m.CPUWeight + 8e6
-	rates[metrics.EvInstRetired] = 1e6 * v * m.CPUWeight
-	rates[metrics.EvBrInstRetired] = 2e5 * v * m.CPUWeight
-	rates[metrics.EvBrMispredict] = 4e3 * v * m.CPUWeight
-	rates[metrics.EvL2Lines] = 3e4 * v * m.MemWeight
-	rates[metrics.EvLoadBlock] = 2e4 * v * m.ReadFraction * m.MemWeight
-	rates[metrics.EvStoreBlock] = 2e4 * v * write * m.MemWeight
-	rates[metrics.EvPageWalks] = 1e4 * v * m.MemWeight
+	dst.Set(idxFlops, 2e4*v*m.FPWeight)
+	dst.Set(idxCPUClk, 1.5e6*v*m.CPUWeight+8e6)
+	dst.Set(idxInstRetired, 1e6*v*m.CPUWeight)
+	dst.Set(idxBrInst, 2e5*v*m.CPUWeight)
+	dst.Set(idxBrMisp, 4e3*v*m.CPUWeight)
+	dst.Set(idxL2Lines, 3e4*v*m.MemWeight)
+	dst.Set(idxLoadBlock, 2e4*v*m.ReadFraction*m.MemWeight)
+	dst.Set(idxStoreBlock, 2e4*v*write*m.MemWeight)
+	dst.Set(idxPageWalks, 1e4*v*m.MemWeight)
 
-	rates[metrics.EvXenCPU] = clampMax(100*v/s.PerUnitClients, 100)
-	rates[metrics.EvXenMem] = 3e5 + 300*v*m.MemWeight
-	rates[metrics.EvXenNetTx] = 400 * v * m.IOWeight // large downloads
-	rates[metrics.EvXenNetRx] = 30 * v
-	rates[metrics.EvXenVBDRd] = 80 * v * m.ReadFraction * m.IOWeight
-	rates[metrics.EvXenVBDWr] = 8 * v * write * m.IOWeight
-	return rates
+	dst.Set(idxXenCPU, clampMax(100*v/s.PerUnitClients, 100))
+	dst.Set(idxXenMem, 3e5+300*v*m.MemWeight)
+	dst.Set(idxXenNetTx, 400*v*m.IOWeight) // large downloads
+	dst.Set(idxXenNetRx, 30*v)
+	dst.Set(idxXenVBDRd, 80*v*m.ReadFraction*m.IOWeight)
+	dst.Set(idxXenVBDWr, 8*v*write*m.IOWeight)
 }
 
 // MaxAllocation implements Service: every instance extra-large.

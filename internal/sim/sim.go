@@ -48,8 +48,13 @@ type Action struct {
 type Controller interface {
 	// Name identifies the controller in reports.
 	Name() string
-	// Step is invoked once per simulation step.
-	Step(obs Observation) (Action, error)
+	// Step is invoked once per simulation step. The observation is
+	// owned by the engine and reused across steps — controllers must
+	// treat it as read-only and must not retain it past the call.
+	// (Passing a pointer keeps the per-step cost flat: the engine
+	// fills one Observation in place instead of copying ~200 bytes
+	// through the interface every simulated minute.)
+	Step(obs *Observation) (Action, error)
 }
 
 // Config describes one simulation run.
@@ -76,6 +81,23 @@ type Config struct {
 	// an allocation change completes, decaying over the service's
 	// stabilization period (default 0.3 = +30%).
 	StabilizationPenalty float64
+	// Records optionally provides a preallocated backing buffer for
+	// the step records (used from length 0). The fleet control plane
+	// carves per-VM buffers out of one arena slab so a whole fleet
+	// run costs a single record allocation; when nil, Run allocates
+	// an exact-capacity buffer itself (the step count is known from
+	// the trace), so records never grow-and-copy either way.
+	Records []StepRecord
+}
+
+// Steps returns the number of simulation steps Run will execute for a
+// trace of the given duration at the given step — the exact capacity
+// an arena should reserve per VM.
+func Steps(total, step time.Duration) int {
+	if total <= 0 || step <= 0 {
+		return 0
+	}
+	return int((total + step - 1) / step)
 }
 
 // StepRecord is one simulation step's outcome.
@@ -185,7 +207,19 @@ func Run(cfg Config) (*Result, error) {
 	total := cfg.Trace.Duration()
 
 	res := &Result{Controller: cfg.Controller.Name(), Service: cfg.Service.Name()}
+	if cfg.Records != nil {
+		res.Records = cfg.Records[:0]
+	} else {
+		res.Records = make([]StepRecord, 0, Steps(total, cfg.Step))
+	}
 	violations := 0
+
+	// Perf is a pure function of the operating point and the traces
+	// hold their load for a whole sample period, so the per-step model
+	// evaluation memoizes almost perfectly. The memo verifies the
+	// exact operating point on every hit — results are bit-identical
+	// to calling Perf directly.
+	perfMemo := services.NewPerfMemo(cfg.Service)
 
 	// Episode tracking.
 	var episodeStart time.Duration = -1
@@ -193,12 +227,39 @@ func Run(cfg Config) (*Result, error) {
 	var lastChangeEffective time.Duration = -1 << 62
 
 	prevAlloc := cfg.Initial
+	// One observation and one workload reused across every step: the
+	// engine fills them in place and hands the controller a read-only
+	// pointer, so the step loop moves no large structs. The mix is only
+	// re-copied when a MixFn can actually change it.
+	var obs Observation
+	w := services.Workload{Mix: cfg.Mix}
+	obs.Workload.Mix = cfg.Mix
+	// The deployment snapshot (serving allocation, requested target,
+	// warm-up flag) only changes when the controller applies a change
+	// or a pending change settles, so it is cached across steps and
+	// refreshed exactly at those events instead of re-queried every
+	// simulated minute.
+	active, target, inTransition := dep.Status(0)
+	readyAt, _ := dep.PendingReadyAt()
+	activeCap := active.Capacity()
+	// Traces are zero-order hold: the load only changes on sample
+	// boundaries, so At (an integer division per call) runs once per
+	// trace sample instead of once per step.
+	clients := cfg.Trace.At(0)
+	nextSampleAt := cfg.Trace.Step
+	if nextSampleAt <= 0 {
+		nextSampleAt = 1 << 62 // degenerate trace step: never re-sample
+	}
 	for now := time.Duration(0); now < total; now += cfg.Step {
-		mix := cfg.Mix
 		if cfg.MixFn != nil {
-			mix = cfg.MixFn(now)
+			w.Mix = cfg.MixFn(now)
+			obs.Workload.Mix = w.Mix
 		}
-		w := services.Workload{Clients: cfg.Trace.At(now), Mix: mix}
+		if now >= nextSampleAt {
+			clients = cfg.Trace.At(now)
+			nextSampleAt = (now/cfg.Trace.Step + 1) * cfg.Trace.Step
+		}
+		w.Clients = clients
 
 		interf := 0.0
 		if cfg.Interference != nil {
@@ -208,11 +269,19 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		capacity := dep.EffectiveCapacity(now)
-		perf := cfg.Service.Perf(w, capacity)
+		// A pending change that finished warming up becomes active
+		// now, exactly when the per-step settle used to promote it.
+		if inTransition && now >= readyAt {
+			active, target, inTransition = dep.Status(now)
+			activeCap = active.Capacity()
+		}
+
+		// Effective capacity from the cached snapshot — the same value
+		// dep.EffectiveCapacity(now) returns, without re-settling.
+		capacity := activeCap * (1 - interf)
+		perf := perfMemo.Perf(&w, capacity)
 
 		// Allocation-change transients: re-partitioning and warm-up.
-		active := dep.Allocation(now)
 		if !active.Equal(prevAlloc) {
 			lastChangeEffective = now
 			prevAlloc = active
@@ -223,36 +292,39 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		violated := !slo.Met(perf)
-		rec := StepRecord{
-			Now:          now,
-			Clients:      w.Clients,
-			LatencyMs:    perf.LatencyMs,
-			QoSPercent:   perf.QoSPercent,
-			Utilization:  perf.Utilization,
-			Allocation:   active,
-			InTransition: dep.InTransition(now),
-			SLOViolated:  violated,
-			Interference: interf,
+		// Write the record into the preallocated slice in place; a
+		// build-then-append would copy the ~140-byte struct twice.
+		if len(res.Records) < cap(res.Records) {
+			res.Records = res.Records[:len(res.Records)+1]
+		} else { // undersized caller-provided buffer
+			res.Records = append(res.Records, StepRecord{})
 		}
-		res.Records = append(res.Records, rec)
+		rec := &res.Records[len(res.Records)-1]
+		rec.Now = now
+		rec.Clients = w.Clients
+		rec.LatencyMs = perf.LatencyMs
+		rec.QoSPercent = perf.QoSPercent
+		rec.Utilization = perf.Utilization
+		rec.Allocation = active
+		rec.InTransition = inTransition
+		rec.SLOViolated = violated
+		rec.Interference = interf
 		if violated {
 			violations++
 		}
 
-		obs := Observation{
-			Now:              now,
-			Workload:         w,
-			Perf:             perf,
-			SLOViolated:      violated,
-			Allocation:       active,
-			TargetAllocation: dep.TargetAllocation(),
-			InTransition:     rec.InTransition,
-		}
-		action, err := cfg.Controller.Step(obs)
+		obs.Now = now
+		obs.Workload.Clients = w.Clients
+		obs.Perf = perf
+		obs.SLOViolated = violated
+		obs.Allocation = active
+		obs.TargetAllocation = target
+		obs.InTransition = inTransition
+		action, err := cfg.Controller.Step(&obs)
 		if err != nil {
 			return nil, fmt.Errorf("sim: controller %s at %v: %w", cfg.Controller.Name(), now, err)
 		}
-		if action.Target != nil && !action.Target.Equal(dep.TargetAllocation()) {
+		if action.Target != nil && !action.Target.Equal(target) {
 			applyAt := now + action.DecisionTime
 			if err := dep.Apply(applyAt, *action.Target); err != nil {
 				return nil, fmt.Errorf("sim: apply at %v: %w", applyAt, err)
@@ -263,9 +335,16 @@ func Run(cfg Config) (*Result, error) {
 				episodeResizes = 0
 			}
 			episodeResizes++
+			// Refresh the snapshot: Apply may settle a previous change
+			// and always installs a new pending one.
+			active, target, inTransition = dep.Status(now)
+			readyAt, _ = dep.PendingReadyAt()
+			activeCap = active.Capacity()
 		}
-		// An episode ends when nothing is pending anymore.
-		if episodeStart >= 0 && !dep.InTransition(now+cfg.Step) {
+		// An episode ends when nothing is pending anymore (the cached
+		// snapshot answers the one-step-ahead peek the engine used to
+		// settle the deployment for).
+		if episodeStart >= 0 && !(inTransition && readyAt > now+cfg.Step) {
 			res.Episodes = append(res.Episodes, Episode{
 				StartOffset: episodeStart,
 				Duration:    now + cfg.Step - episodeStart,

@@ -15,7 +15,7 @@ import (
 type fixedController struct{ alloc cloud.Allocation }
 
 func (f *fixedController) Name() string { return "fixed" }
-func (f *fixedController) Step(Observation) (Action, error) {
+func (f *fixedController) Step(*Observation) (Action, error) {
 	return Action{}, nil
 }
 
@@ -29,7 +29,7 @@ type oracleController struct {
 }
 
 func (o *oracleController) Name() string { return "oracle" }
-func (o *oracleController) Step(obs Observation) (Action, error) {
+func (o *oracleController) Step(obs *Observation) (Action, error) {
 	req := services.RequiredCapacity(o.svc, obs.Workload)
 	count := int(math.Ceil(req / o.typ.Capacity))
 	if count < o.min {
@@ -49,7 +49,7 @@ func (o *oracleController) Step(obs Observation) (Action, error) {
 type errController struct{}
 
 func (errController) Name() string                     { return "err" }
-func (errController) Step(Observation) (Action, error) { return Action{}, errors.New("boom") }
+func (errController) Step(*Observation) (Action, error) { return Action{}, errors.New("boom") }
 
 func flatTrace(clients float64, hours int) *trace.Trace {
 	loads := make([]float64, hours*60)
