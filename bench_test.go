@@ -451,6 +451,52 @@ func BenchmarkKMeansAuto(b *testing.B) {
 	}
 }
 
+// BenchmarkKMeansAutoFleetScale times the learning phase's dominant
+// cost at fleet-sized signature sets on the pruned + sampled engine.
+func BenchmarkKMeansAutoFleetScale(b *testing.B) {
+	X := ml.ClusteredDataset(42, 5000, 6, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ml.KMeansAuto(X, 2, 10, ml.KMeansConfig{Rng: rand.New(rand.NewSource(42))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.K), "chosen-k")
+	}
+}
+
+// BenchmarkKMeansAutoFleetScaleReference is the pre-optimization
+// baseline (naive Lloyd, exact per-k silhouette) on the same dataset —
+// the denominator of the BENCH_learn.json speedup gate.
+func BenchmarkKMeansAutoFleetScaleReference(b *testing.B) {
+	X := ml.ClusteredDataset(42, 5000, 6, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ml.KMeansAutoReference(X, 2, 10, ml.KMeansConfig{Rng: rand.New(rand.NewSource(42))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.K), "chosen-k")
+	}
+}
+
+// BenchmarkSilhouetteSampled isolates the estimator against the exact
+// full-pairwise silhouette it replaces above the threshold.
+func BenchmarkSilhouetteSampled(b *testing.B) {
+	X := ml.ClusteredDataset(42, 5000, 6, 5)
+	assign := make([]int, len(X))
+	for i := range assign {
+		assign[i] = i % 5
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.SilhouetteEstimate(X, assign, 5, ml.SilhouetteConfig{Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkC45Train(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	d := ml.NewDataset([]string{"a", "b", "c"})

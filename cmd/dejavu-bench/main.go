@@ -1,27 +1,39 @@
 // Command dejavu-bench runs the hot-path benchmarks programmatically
-// and records the results as JSON — the committed BENCH_fleet.json is
-// the performance baseline CI regresses against.
+// and records the results as JSON — the committed BENCH_fleet.json
+// (run phase) and BENCH_learn.json (learning phase) are the
+// performance baselines CI regresses against.
 //
-//	go run ./cmd/dejavu-bench -out BENCH_fleet.json          # refresh baseline
+//	go run ./cmd/dejavu-bench -out BENCH_fleet.json          # refresh run-phase baseline
 //	go run ./cmd/dejavu-bench -check BENCH_fleet.json        # fail on regression
+//	go run ./cmd/dejavu-bench -learn-out BENCH_learn.json    # refresh learn-phase baseline
+//	go run ./cmd/dejavu-bench -learn-check BENCH_learn.json  # fail on regression
 //
 // With -check, the run fails (exit 1) when fleet steps/s drops more
 // than -tolerance (default 20%) below the baseline, or when a
-// tracked benchmark's allocs/op exceeds its baseline.
+// tracked benchmark's allocs/op exceeds its baseline. With
+// -learn-check, it fails when KMeansAuto wall time regresses more
+// than -tolerance against the baseline, when the fast path's speedup
+// over the preserved pre-optimization reference drops below
+// -learn-speedup-floor (default 5×), or when the fast and reference
+// paths choose a different number of clusters at the pinned seed.
+// See docs/BENCHMARKS.md for the methodology.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/ml"
 	"repro/internal/queueing"
 	"repro/internal/services"
 	"repro/internal/sim"
@@ -53,6 +65,100 @@ type Report struct {
 	ServicePerf         Bench      `json:"service_perf"`
 	MVASolve            Bench      `json:"mva_solve"`
 	MVAMemoized         Bench      `json:"mva_memoized"`
+}
+
+// LearnBench is the learning-phase measurement: one KMeansAuto sweep
+// over a fleet-scale synthetic signature set at a pinned seed, timed
+// on the fast engine and on the preserved pre-optimization reference
+// path (ml.KMeansAutoReference).
+type LearnBench struct {
+	N               int     `json:"n"`
+	Dims            int     `json:"dims"`
+	MinK            int     `json:"min_k"`
+	MaxK            int     `json:"max_k"`
+	Restarts        int     `json:"restarts"`
+	Seed            int64   `json:"seed"`
+	FastMs          float64 `json:"fast_ms"`
+	BaselineMs      float64 `json:"baseline_ms"`
+	Speedup         float64 `json:"speedup"`
+	ChosenK         int     `json:"chosen_k"`
+	BaselineChosenK int     `json:"baseline_chosen_k"`
+}
+
+// LearnReport is the BENCH_learn.json schema.
+type LearnReport struct {
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	KMeansAuto LearnBench `json:"kmeans_auto"`
+}
+
+func benchLearn(n int) (LearnBench, error) {
+	const (
+		seed    = 42
+		dims    = 6
+		classes = 5
+		minK    = 2
+		maxK    = 12
+	)
+	// A fleet-scale signature set with workload-class structure
+	// (well-separated means, unit-ish noise) like the ones the
+	// learning phase clusters after CFS projection.
+	X := ml.ClusteredDataset(seed, n, dims, classes)
+	lb := LearnBench{N: n, Dims: dims, MinK: minK, MaxK: maxK, Restarts: 5, Seed: seed}
+
+	// Fast engine: best of three sweeps, fresh RNG each so every
+	// sweep consumes the identical derived-seed stream.
+	fast := time.Duration(1<<63 - 1)
+	var fastRes *ml.KMeansResult
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		res, err := ml.KMeansAuto(X, minK, maxK, ml.KMeansConfig{Rng: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			return lb, err
+		}
+		if el := time.Since(start); el < fast {
+			fast = el
+		}
+		fastRes = res
+	}
+
+	// Reference path (naive Lloyd + exact per-k silhouette), once —
+	// it is the expensive side by construction.
+	start := time.Now()
+	refRes, err := ml.KMeansAutoReference(X, minK, maxK, ml.KMeansConfig{Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		return lb, err
+	}
+	baseline := time.Since(start)
+
+	lb.FastMs = float64(fast.Microseconds()) / 1000
+	lb.BaselineMs = float64(baseline.Microseconds()) / 1000
+	if lb.FastMs > 0 {
+		lb.Speedup = lb.BaselineMs / lb.FastMs
+	}
+	lb.ChosenK = fastRes.K
+	lb.BaselineChosenK = refRes.K
+	return lb, nil
+}
+
+func learnCheck(current, baseline *LearnReport, tolerance, speedupFloor float64) error {
+	if current.KMeansAuto.ChosenK != current.KMeansAuto.BaselineChosenK {
+		return fmt.Errorf("learn chosen k diverged: fast=%d reference=%d (seed %d)",
+			current.KMeansAuto.ChosenK, current.KMeansAuto.BaselineChosenK, current.KMeansAuto.Seed)
+	}
+	if baseline.KMeansAuto.ChosenK != 0 && current.KMeansAuto.ChosenK != baseline.KMeansAuto.ChosenK {
+		return fmt.Errorf("learn chosen k drifted from committed baseline: %d != %d",
+			current.KMeansAuto.ChosenK, baseline.KMeansAuto.ChosenK)
+	}
+	if ceiling := baseline.KMeansAuto.FastMs * (1 + tolerance); current.KMeansAuto.FastMs > ceiling {
+		return fmt.Errorf("learn KMeansAuto regressed: %.1fms > %.1fms (baseline %.1fms + %d%%)",
+			current.KMeansAuto.FastMs, ceiling, baseline.KMeansAuto.FastMs, int(tolerance*100))
+	}
+	if current.KMeansAuto.Speedup < speedupFloor {
+		return fmt.Errorf("learn speedup over reference fell below floor: %.1fx < %.1fx",
+			current.KMeansAuto.Speedup, speedupFloor)
+	}
+	return nil
 }
 
 func toBench(r testing.BenchmarkResult) Bench {
@@ -191,14 +297,24 @@ func check(current, baseline *Report, tolerance float64) error {
 	return nil
 }
 
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 func main() {
 	out := flag.String("out", "", "write results to this JSON file")
 	checkPath := flag.String("check", "", "compare against this baseline JSON and fail on regression")
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional steps/s regression with -check")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression with -check/-learn-check")
 	vms := flag.Int("vms", 100, "fleet size for the headline benchmark")
+	learnOut := flag.String("learn-out", "", "write learn-phase results to this JSON file")
+	learnCheckPath := flag.String("learn-check", "", "compare the learn phase against this baseline JSON and fail on regression")
+	learnN := flag.Int("learn-n", 6000, "signature-set size for the learn-phase benchmark")
+	speedupFloor := flag.Float64("learn-speedup-floor", 5.0, "minimum KMeansAuto speedup over the reference path with -learn-check")
 	flag.Parse()
 
-	// Read the baseline up front so `-out X -check X` regresses
+	// Read the baselines up front so `-out X -check X` regresses
 	// against the previous contents, not the freshly written ones.
 	var baseline *Report
 	if *checkPath != "" {
@@ -211,6 +327,61 @@ func main() {
 		if err := json.Unmarshal(data, baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "dejavu-bench: parse baseline:", err)
 			os.Exit(1)
+		}
+	}
+	var learnBaseline *LearnReport
+	if *learnCheckPath != "" {
+		data, err := os.ReadFile(*learnCheckPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench: read learn baseline:", err)
+			os.Exit(1)
+		}
+		learnBaseline = &LearnReport{}
+		if err := json.Unmarshal(data, learnBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench: parse learn baseline:", err)
+			os.Exit(1)
+		}
+	}
+
+	// The learn-phase benchmark runs when asked for (it times the
+	// deliberately slow reference path, so it is not free).
+	if *learnOut != "" || *learnCheckPath != "" {
+		learnRep := &LearnReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		var err error
+		if learnRep.KMeansAuto, err = benchLearn(*learnN); err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench: learn:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON(os.Stdout, learnRep); err != nil {
+			fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
+			os.Exit(1)
+		}
+		if *learnOut != "" {
+			f, err := os.Create(*learnOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
+				os.Exit(1)
+			}
+			err = writeJSON(f, learnRep)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
+				os.Exit(1)
+			}
+		}
+		if learnBaseline != nil {
+			if err := learnCheck(learnRep, learnBaseline, *tolerance, *speedupFloor); err != nil {
+				fmt.Fprintln(os.Stderr, "dejavu-bench: REGRESSION:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "dejavu-bench: learn phase ok vs %s (%.1fms, %.1fx over reference, k=%d)\n",
+				*learnCheckPath, learnRep.KMeansAuto.FastMs, learnRep.KMeansAuto.Speedup, learnRep.KMeansAuto.ChosenK)
+		}
+		// Learn-only invocations skip the fleet benchmarks.
+		if *out == "" && *checkPath == "" {
+			return
 		}
 	}
 

@@ -1,0 +1,110 @@
+// Command mdlinks checks intra-repository markdown links: every
+// relative link target in every .md file under the given root must
+// exist on disk (anchors are stripped; external schemes are skipped).
+// The CI docs job runs it so documentation cannot silently rot as
+// files move:
+//
+//	go run ./cmd/mdlinks .
+//
+// It exits 1 and lists every broken link when any relative target is
+// missing.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline markdown links [text](target). Reference
+// style links are rare in this repository and not checked.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// skippable reports whether a link target is external or intra-page.
+func skippable(target string) bool {
+	if target == "" || strings.HasPrefix(target, "#") {
+		return true
+	}
+	for _, scheme := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, scheme) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFile(root, path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for _, m := range linkPattern.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if skippable(target) {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		var resolved string
+		if strings.HasPrefix(target, "/") {
+			resolved = filepath.Join(root, target)
+		} else {
+			resolved = filepath.Join(filepath.Dir(path), target)
+		}
+		if _, err := os.Stat(resolved); err != nil {
+			broken = append(broken, fmt.Sprintf("%s: broken link %q", path, m[1]))
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var broken []string
+	files := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals; everything else is fair game.
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			return nil
+		}
+		files++
+		b, err := checkFile(root, path)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, b...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinks:", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, "mdlinks:", b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinks: %d broken link(s) in %d markdown file(s)\n", len(broken), files)
+		os.Exit(1)
+	}
+	fmt.Printf("mdlinks: %d markdown file(s), all intra-repo links resolve\n", files)
+}

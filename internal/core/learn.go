@@ -51,7 +51,15 @@ type LearnConfig struct {
 	// (default 1.0 standardized units).
 	MinNoveltyRadius float64
 	// Rng drives clustering restarts and cross-validation; required.
+	// It is consumed only for derived per-run seeds, so learning
+	// results do not depend on Workers.
 	Rng *rand.Rand
+	// Workers bounds the clustering fan-out (restarts × candidate k
+	// on the shared internal/parallel pool); 0 means GOMAXPROCS. The
+	// fleet control plane sets this when several service templates
+	// learn concurrently so the pools don't oversubscribe the
+	// machine.
+	Workers int
 }
 
 func (c *LearnConfig) defaults() error {
@@ -154,7 +162,7 @@ func Learn(cfg LearnConfig) (*Repository, *LearnReport, error) {
 	// unit variance and swamp the real structure across the 60+
 	// attribute dimensions.
 	fullN := ml.MeanNormalize(full)
-	pre, err := ml.KMeansAuto(fullN.X, cfg.MinK, cfg.MaxK, ml.KMeansConfig{Rng: cfg.Rng})
+	pre, err := ml.KMeansAuto(fullN.X, cfg.MinK, cfg.MaxK, ml.KMeansConfig{Rng: cfg.Rng, Workers: cfg.Workers})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: preliminary clustering: %w", err)
 	}
@@ -183,7 +191,7 @@ func Learn(cfg LearnConfig) (*Repository, *LearnReport, error) {
 		return nil, nil, err
 	}
 	projZ := std.TransformDataset(proj)
-	clusters, err := ml.KMeansAuto(projZ.X, cfg.MinK, cfg.MaxK, ml.KMeansConfig{Rng: cfg.Rng})
+	clusters, err := ml.KMeansAuto(projZ.X, cfg.MinK, cfg.MaxK, ml.KMeansConfig{Rng: cfg.Rng, Workers: cfg.Workers})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: clustering: %w", err)
 	}

@@ -16,6 +16,12 @@ import (
 // fresh repository in. While re-learning runs, production stays at
 // full capacity (the controller's unforeseen fallback already put it
 // there), so performance is protected at the price of cost.
+//
+// Re-learning rounds reuse the full parallel learning pipeline: the
+// Learn template's Workers setting (and its derived-seed determinism)
+// carries over unchanged, so a re-clustering round costs the same
+// wall-clock as the initial learning phase and yields the same result
+// for the same RNG state no matter how many workers run it.
 type Relearner struct {
 	// Controller is the wrapped DejaVu runtime controller.
 	Controller *Controller

@@ -14,11 +14,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/services"
 	"repro/internal/sim"
 )
@@ -211,22 +211,26 @@ func Run(cfg Config) (*Result, error) {
 
 	// Learning phase: one clustering + tuning pass per template (the
 	// fleet-wide amortization: N VMs, one learning bill). Groups
-	// learn in parallel; each uses its first VM's learning-day trace.
+	// learn in parallel on the shared pool, each using its first VM's
+	// learning-day trace; the per-group clustering fan-out gets an
+	// even share of the workers so templates × restarts × candidate-k
+	// together stay bounded by cfg.Workers.
 	learnStart := time.Now()
-	var learnWG sync.WaitGroup
-	learnErrs := make([]error, len(groups))
-	learnIdx := 0
+	groupList := make([]*group, 0, len(groups))
 	for _, g := range groups {
-		g := g
-		idx := learnIdx
-		learnIdx++
-		learnWG.Add(1)
-		go func() {
-			defer learnWG.Done()
-			learnErrs[idx] = learnGroup(cfg, g)
-		}()
+		groupList = append(groupList, g)
 	}
-	learnWG.Wait()
+	sort.Slice(groupList, func(i, j int) bool {
+		return groupList[i].service.Name() < groupList[j].service.Name()
+	})
+	innerWorkers := cfg.Workers / len(groupList)
+	if innerWorkers < 1 {
+		innerWorkers = 1
+	}
+	learnErrs := make([]error, len(groupList))
+	parallel.Do(cfg.Workers, len(groupList), func(i int) {
+		learnErrs[i] = learnGroup(cfg, groupList[i], innerWorkers)
+	})
 	if err := errors.Join(learnErrs...); err != nil {
 		return nil, err
 	}
@@ -253,37 +257,24 @@ func Run(cfg Config) (*Result, error) {
 	}
 	arena := make([]sim.StepRecord, offsets[len(cfg.Specs)])
 
-	jobs := make(chan int)
 	runErrs := make([]error, len(cfg.Specs))
 	runStart := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				records := arena[offsets[i]:offsets[i]:offsets[i+1]]
-				vr, err := runVM(cfg, cfg.Specs[i], groups[cfg.Specs[i].Service.Name()], records)
-				if err != nil {
-					runErrs[i] = fmt.Errorf("fleet: vm %d (%s): %w", i, cfg.Specs[i].Name, err)
-					continue
-				}
-				res.VMResults[i] = vr
-				res.Bill.Post(cloud.TenantUsage{
-					Tenant:        cfg.Specs[i].Name,
-					Service:       cfg.Specs[i].Service.Name(),
-					Cost:          vr.TotalCost,
-					InstanceHours: vr.MeanAllocatedInstances() * cfg.Specs[i].RunTrace.Duration().Hours(),
-					Duration:      cfg.Specs[i].RunTrace.Duration(),
-				})
-			}
-		}()
-	}
-	for i := range cfg.Specs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	parallel.Do(cfg.Workers, len(cfg.Specs), func(i int) {
+		records := arena[offsets[i]:offsets[i]:offsets[i+1]]
+		vr, err := runVM(cfg, cfg.Specs[i], groups[cfg.Specs[i].Service.Name()], records)
+		if err != nil {
+			runErrs[i] = fmt.Errorf("fleet: vm %d (%s): %w", i, cfg.Specs[i].Name, err)
+			return
+		}
+		res.VMResults[i] = vr
+		res.Bill.Post(cloud.TenantUsage{
+			Tenant:        cfg.Specs[i].Name,
+			Service:       cfg.Specs[i].Service.Name(),
+			Cost:          vr.TotalCost,
+			InstanceHours: vr.MeanAllocatedInstances() * cfg.Specs[i].RunTrace.Duration().Hours(),
+			Duration:      cfg.Specs[i].RunTrace.Duration(),
+		})
+	})
 	if err := errors.Join(runErrs...); err != nil {
 		return nil, err
 	}
@@ -312,7 +303,8 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // learnGroup runs (or skips) the learning phase for one template.
-func learnGroup(cfg Config, g *group) error {
+// workers bounds the group's clustering fan-out inside core.Learn.
+func learnGroup(cfg Config, g *group, workers int) error {
 	if repo, ok := cfg.SkipLearning[g.service.Name()]; ok && repo != nil {
 		g.repo = repo
 		g.classes = repo.Classes()
@@ -342,6 +334,7 @@ func learnGroup(cfg Config, g *group) error {
 		Tuner:     shared,
 		Workloads: core.WorkloadsFromTrace(first.LearnTrace, first.Mix),
 		Rng:       rng,
+		Workers:   workers,
 	})
 	if err != nil {
 		return fmt.Errorf("fleet: learning %s: %w", g.service.Name(), err)

@@ -1,0 +1,295 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// kmEngine runs single k-means restarts over one dense Matrix. All
+// scratch (centroids, bounds, per-cluster sums) lives on the engine
+// and is reused across runs, so a worker that claims many restarts
+// allocates once; only the returned KMeansResult is fresh memory.
+//
+// The assignment step uses Hamerly's accelerated exact k-means: per
+// point it keeps an upper bound on the distance to its assigned
+// centroid and a lower bound on the distance to the second-closest
+// one, both adjusted by centroid movement after every update step.
+// A point whose upper bound stays below both its lower bound and half
+// the distance from its centroid to the nearest other centroid cannot
+// change cluster, so the k-distance scan is skipped entirely. The
+// pruning is exact — when the bounds cannot prove the assignment it
+// falls back to the same exhaustive first-minimum scan the naive path
+// runs — so pruned and naive runs yield bit-identical assignments,
+// centroids, inertia, and iteration counts on the same derived RNG
+// stream (enforced by TestPrunedMatchesNaive). Empty clusters are
+// re-seeded from a random row exactly like the naive path, consuming
+// the identical RNG draws.
+type kmEngine struct {
+	m *Matrix
+
+	centroids []float64 // k×d, current centroids
+	prev      []float64 // k×d, centroids before the last update
+	sums      []float64 // k×d, accumulation scratch
+	counts    []int     // k, cluster sizes
+	moved     []float64 // k, centroid movement after the last update
+	half      []float64 // k, half distance to the nearest other centroid
+	assign    []int     // n
+	ub, lb    []float64 // n, Hamerly bounds
+	minDist   []float64 // n, k-means++ seeding scratch
+}
+
+func newKMEngine(m *Matrix) *kmEngine {
+	n := m.Rows
+	return &kmEngine{
+		m:       m,
+		assign:  make([]int, n),
+		ub:      make([]float64, n),
+		lb:      make([]float64, n),
+		minDist: make([]float64, n),
+	}
+}
+
+// ensure sizes the per-cluster scratch for k clusters.
+func (e *kmEngine) ensure(k int) {
+	need := k * e.m.Cols
+	if cap(e.centroids) < need {
+		e.centroids = make([]float64, need)
+		e.prev = make([]float64, need)
+		e.sums = make([]float64, need)
+		e.counts = make([]int, k)
+		e.moved = make([]float64, k)
+		e.half = make([]float64, k)
+	}
+	e.centroids = e.centroids[:need]
+	e.prev = e.prev[:need]
+	e.sums = e.sums[:need]
+	e.counts = e.counts[:k]
+	e.moved = e.moved[:k]
+	e.half = e.half[:k]
+}
+
+func (e *kmEngine) centroid(c int) []float64 {
+	d := e.m.Cols
+	return e.centroids[c*d : (c+1)*d]
+}
+
+// seed runs k-means++ seeding. Unlike the reference implementation it
+// maintains each row's distance to the nearest chosen centroid
+// incrementally (O(n·k·d) instead of O(n·k²·d)), but it consumes the
+// same RNG draws and computes the same floating-point values, so the
+// chosen centroids are bit-identical to seedPlusPlusRef's.
+func (e *kmEngine) seed(k int, rng *rand.Rand) {
+	n, d := e.m.Rows, e.m.Cols
+	copy(e.centroids[:d], e.m.Row(rng.Intn(n)))
+	if k == 1 {
+		return
+	}
+	first := e.centroids[:d]
+	for i := 0; i < n; i++ {
+		e.minDist[i] = SquaredDistance(e.m.Row(i), first)
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += e.minDist[i]
+		}
+		var idx int
+		if total == 0 {
+			// All points coincide with existing centroids; pick
+			// uniformly to keep going.
+			idx = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i := 0; i < n; i++ {
+				acc += e.minDist[i]
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		next := e.centroids[c*d : (c+1)*d]
+		copy(next, e.m.Row(idx))
+		if c+1 < k {
+			for i := 0; i < n; i++ {
+				if sq := SquaredDistance(e.m.Row(i), next); sq < e.minDist[i] {
+					e.minDist[i] = sq
+				}
+			}
+		}
+	}
+}
+
+// scanPoint exhaustively finds the nearest and second-nearest centroid
+// of row (first minimum on ties, like the naive path).
+func (e *kmEngine) scanPoint(row []float64, k int) (best int, bestSq, secondSq float64) {
+	bestSq, secondSq = math.Inf(1), math.Inf(1)
+	d := e.m.Cols
+	for c := 0; c < k; c++ {
+		sq := SquaredDistance(row, e.centroids[c*d:(c+1)*d])
+		if sq < bestSq {
+			secondSq = bestSq
+			best, bestSq = c, sq
+		} else if sq < secondSq {
+			secondSq = sq
+		}
+	}
+	return best, bestSq, secondSq
+}
+
+// update recomputes every centroid as the mean of its members (empty
+// clusters re-seed from a random row, preserving k) and, when pruned,
+// records how far each centroid moved.
+func (e *kmEngine) update(k int, rng *rand.Rand, pruned bool) {
+	n, d := e.m.Rows, e.m.Cols
+	if pruned {
+		copy(e.prev, e.centroids)
+	}
+	for i := range e.sums {
+		e.sums[i] = 0
+	}
+	for c := 0; c < k; c++ {
+		e.counts[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		c := e.assign[i]
+		e.counts[c]++
+		row := e.m.Row(i)
+		sum := e.sums[c*d : (c+1)*d]
+		for j, v := range row {
+			sum[j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		cent := e.centroids[c*d : (c+1)*d]
+		if e.counts[c] == 0 {
+			copy(cent, e.m.Row(rng.Intn(n)))
+			continue
+		}
+		inv := float64(e.counts[c])
+		sum := e.sums[c*d : (c+1)*d]
+		for j := range cent {
+			cent[j] = sum[j] / inv
+		}
+	}
+	if pruned {
+		for c := 0; c < k; c++ {
+			e.moved[c] = math.Sqrt(SquaredDistance(
+				e.centroids[c*d:(c+1)*d], e.prev[c*d:(c+1)*d]))
+		}
+	}
+}
+
+// computeHalf fills half[c] = ½·min_{c'≠c} dist(c, c'), the Hamerly
+// centroid-separation bound.
+func (e *kmEngine) computeHalf(k int) {
+	d := e.m.Cols
+	for c := 0; c < k; c++ {
+		minSq := math.Inf(1)
+		cent := e.centroids[c*d : (c+1)*d]
+		for o := 0; o < k; o++ {
+			if o == c {
+				continue
+			}
+			if sq := SquaredDistance(cent, e.centroids[o*d:(o+1)*d]); sq < minSq {
+				minSq = sq
+			}
+		}
+		e.half[c] = 0.5 * math.Sqrt(minSq)
+	}
+}
+
+// run executes one seeded k-means restart and returns a self-contained
+// result (the engine's scratch is reused by the next run).
+func (e *kmEngine) run(k, maxIter int, rng *rand.Rand, pruned bool) *KMeansResult {
+	n, d := e.m.Rows, e.m.Cols
+	e.ensure(k)
+	e.seed(k, rng)
+	for i := range e.assign {
+		e.assign[i] = -1
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		if !pruned || iters == 0 {
+			// Exhaustive pass: the naive path every iteration, the
+			// pruned path only on the first (which also initializes
+			// the bounds).
+			for i := 0; i < n; i++ {
+				best, bestSq, secondSq := e.scanPoint(e.m.Row(i), k)
+				if best != e.assign[i] {
+					e.assign[i] = best
+					changed = true
+				}
+				if pruned {
+					e.ub[i] = math.Sqrt(bestSq)
+					e.lb[i] = math.Sqrt(secondSq)
+				}
+			}
+		} else {
+			e.computeHalf(k)
+			for i := 0; i < n; i++ {
+				bound := e.lb[i]
+				if h := e.half[e.assign[i]]; h > bound {
+					bound = h
+				}
+				if e.ub[i] <= bound {
+					continue
+				}
+				// Tighten the upper bound to the true distance and
+				// re-test before paying for the full scan.
+				row := e.m.Row(i)
+				cur := e.assign[i]
+				du := math.Sqrt(SquaredDistance(row, e.centroids[cur*d:(cur+1)*d]))
+				e.ub[i] = du
+				if du <= bound {
+					continue
+				}
+				best, bestSq, secondSq := e.scanPoint(row, k)
+				if best != cur {
+					e.assign[i] = best
+					changed = true
+				}
+				e.ub[i] = math.Sqrt(bestSq)
+				e.lb[i] = math.Sqrt(secondSq)
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		e.update(k, rng, pruned)
+		if pruned {
+			maxMoved := 0.0
+			for c := 0; c < k; c++ {
+				if e.moved[c] > maxMoved {
+					maxMoved = e.moved[c]
+				}
+			}
+			for i := 0; i < n; i++ {
+				e.ub[i] += e.moved[e.assign[i]]
+				e.lb[i] -= maxMoved
+			}
+		}
+	}
+
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		c := e.assign[i]
+		inertia += SquaredDistance(e.m.Row(i), e.centroids[c*d:(c+1)*d])
+	}
+
+	centroids := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		centroids[c] = append([]float64(nil), e.centroids[c*d:(c+1)*d]...)
+	}
+	return &KMeansResult{
+		K:           k,
+		Centroids:   centroids,
+		Assignments: append([]int(nil), e.assign...),
+		Inertia:     inertia,
+		Iterations:  iters,
+	}
+}

@@ -1,10 +1,14 @@
 package ml
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+
+	"repro/internal/parallel"
 )
 
 // KMeansResult is the outcome of a k-means run.
@@ -31,8 +35,32 @@ type KMeansConfig struct {
 	// Restarts is the number of random restarts; the best (lowest
 	// inertia) run wins (default 5).
 	Restarts int
-	// Rng supplies randomness; required.
+	// Rng supplies randomness; required. It is consumed only to derive
+	// one seed per clustering run (plus one for the silhouette sampler
+	// in KMeansAuto), so results are deterministic for a given Rng
+	// state regardless of Workers.
 	Rng *rand.Rand
+	// Workers bounds how many clustering runs (restarts × candidate
+	// k) execute concurrently on the shared internal/parallel pool;
+	// 0 means GOMAXPROCS. Each worker keeps one scratch buffer set
+	// for all the runs it claims.
+	Workers int
+	// Naive disables the Hamerly bound-pruned Lloyd iterations and
+	// falls back to exhaustive nearest-centroid scans. Both paths
+	// produce bit-identical assignments, centroids, inertia, and
+	// iteration counts (pinned by TestPrunedMatchesNaive); the flag
+	// exists for that cross-check and as an escape hatch.
+	Naive bool
+	// SilhouetteSample is the sample size of the silhouette estimator
+	// KMeansAuto scores candidate k with on large datasets
+	// (default 256).
+	SilhouetteSample int
+	// SilhouetteExactThreshold is the dataset size at or below which
+	// KMeansAuto uses the exact full-pairwise silhouette instead of
+	// the sampled estimator (default 512). The exact path computes
+	// the O(n²) distance matrix once and reuses it across the whole
+	// k sweep.
+	SilhouetteExactThreshold int
 }
 
 func (c *KMeansConfig) defaults() error {
@@ -45,13 +73,40 @@ func (c *KMeansConfig) defaults() error {
 	if c.Restarts <= 0 {
 		c.Restarts = 5
 	}
+	if c.SilhouetteSample <= 0 {
+		c.SilhouetteSample = 256
+	}
+	if c.SilhouetteExactThreshold <= 0 {
+		c.SilhouetteExactThreshold = 512
+	}
 	return nil
+}
+
+// resolveWorkers clamps the configured worker count to the number of
+// independent work items.
+func resolveWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // KMeans clusters the rows of X into cfg.K clusters using Lloyd's
 // algorithm with k-means++ seeding and several random restarts. The
 // paper's "simple k means" corresponds to a single run; restarts only
 // improve stability.
+//
+// Restarts run concurrently on the shared worker pool: each draws its
+// own seed from cfg.Rng up front and iterates on the flattened
+// row-major copy of X with Hamerly-style distance-bound pruning (see
+// kmEngine). The best (lowest-inertia) restart wins, with ties broken
+// by restart index so the outcome is independent of scheduling.
 func KMeans(X [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
@@ -65,201 +120,57 @@ func KMeans(X [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	if cfg.K > len(X) {
 		return nil, fmt.Errorf("ml: K=%d exceeds %d rows", cfg.K, len(X))
 	}
-	width := len(X[0])
-	for _, row := range X {
-		if len(row) != width {
-			return nil, errors.New("ml: ragged feature matrix")
-		}
+	m, err := NewMatrix(X)
+	if err != nil {
+		return nil, err
 	}
-
-	var best *KMeansResult
-	for r := 0; r < cfg.Restarts; r++ {
-		res := kmeansOnce(X, cfg.K, cfg.MaxIterations, cfg.Rng)
-		if best == nil || res.Inertia < best.Inertia {
-			best = res
-		}
-	}
-	return best, nil
+	results := runGrid(m, []int{cfg.K}, cfg)
+	return results[0], nil
 }
 
-func kmeansOnce(X [][]float64, k, maxIter int, rng *rand.Rand) *KMeansResult {
-	centroids := seedPlusPlus(X, k, rng)
-	assign := make([]int, len(X))
-	for i := range assign {
-		assign[i] = -1
+// runGrid executes Restarts clustering runs for every k in ks on the
+// worker pool and returns the best run per k. Seeds are drawn from
+// cfg.Rng in (k, restart) order before any run starts.
+func runGrid(m *Matrix, ks []int, cfg KMeansConfig) []*KMeansResult {
+	runs := len(ks) * cfg.Restarts
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = cfg.Rng.Int63()
 	}
-
-	iters := 0
-	for ; iters < maxIter; iters++ {
-		changed := false
-		for i, row := range X {
-			c := nearestCentroid(row, centroids)
-			if c != assign[i] {
-				assign[i] = c
-				changed = true
-			}
+	results := make([]*KMeansResult, runs)
+	workers := resolveWorkers(cfg.Workers, runs)
+	engines := make([]*kmEngine, workers)
+	parallel.DoWorkers(workers, runs, func(w, i int) {
+		e := engines[w]
+		if e == nil {
+			e = newKMEngine(m)
+			engines[w] = e
 		}
-		if !changed && iters > 0 {
-			break
-		}
-		recomputeCentroids(X, assign, centroids, rng)
-	}
-
-	inertia := 0.0
-	for i, row := range X {
-		inertia += SquaredDistance(row, centroids[assign[i]])
-	}
-	return &KMeansResult{
-		K:           k,
-		Centroids:   centroids,
-		Assignments: assign,
-		Inertia:     inertia,
-		Iterations:  iters,
-	}
-}
-
-// seedPlusPlus picks k initial centroids using the k-means++ strategy:
-// the first uniformly, each subsequent one with probability proportional
-// to its squared distance from the nearest chosen centroid.
-func seedPlusPlus(X [][]float64, k int, rng *rand.Rand) [][]float64 {
-	centroids := make([][]float64, 0, k)
-	first := X[rng.Intn(len(X))]
-	centroids = append(centroids, append([]float64(nil), first...))
-
-	dist := make([]float64, len(X))
-	for len(centroids) < k {
-		total := 0.0
-		for i, row := range X {
-			d := math.Inf(1)
-			for _, c := range centroids {
-				if sq := SquaredDistance(row, c); sq < d {
-					d = sq
-				}
-			}
-			dist[i] = d
-			total += d
-		}
-		var next []float64
-		if total == 0 {
-			// All points coincide with existing centroids; pick
-			// uniformly to keep going.
-			next = X[rng.Intn(len(X))]
-		} else {
-			target := rng.Float64() * total
-			acc := 0.0
-			idx := len(X) - 1
-			for i, d := range dist {
-				acc += d
-				if acc >= target {
-					idx = i
-					break
-				}
-			}
-			next = X[idx]
-		}
-		centroids = append(centroids, append([]float64(nil), next...))
-	}
-	return centroids
-}
-
-func nearestCentroid(row []float64, centroids [][]float64) int {
-	best, bestDist := 0, math.Inf(1)
-	for c, centroid := range centroids {
-		if d := SquaredDistance(row, centroid); d < bestDist {
-			best, bestDist = c, d
+		k := ks[i/cfg.Restarts]
+		rng := rand.New(rand.NewSource(seeds[i]))
+		results[i] = e.run(k, cfg.MaxIterations, rng, !cfg.Naive)
+	})
+	best := make([]*KMeansResult, len(ks))
+	for i, res := range results {
+		ki := i / cfg.Restarts
+		if best[ki] == nil || res.Inertia < best[ki].Inertia {
+			best[ki] = res
 		}
 	}
 	return best
-}
-
-// recomputeCentroids sets each centroid to the mean of its members. An
-// empty cluster is re-seeded with a random row so k is preserved.
-func recomputeCentroids(X [][]float64, assign []int, centroids [][]float64, rng *rand.Rand) {
-	width := len(X[0])
-	counts := make([]int, len(centroids))
-	sums := make([][]float64, len(centroids))
-	for c := range sums {
-		sums[c] = make([]float64, width)
-	}
-	for i, row := range X {
-		c := assign[i]
-		counts[c]++
-		for j, v := range row {
-			sums[c][j] += v
-		}
-	}
-	for c := range centroids {
-		if counts[c] == 0 {
-			copy(centroids[c], X[rng.Intn(len(X))])
-			continue
-		}
-		for j := range centroids[c] {
-			centroids[c][j] = sums[c][j] / float64(counts[c])
-		}
-	}
-}
-
-// Silhouette returns the mean silhouette coefficient of a clustering, a
-// value in [-1, 1]; higher is better. Rows in singleton clusters get
-// silhouette 0, matching the common convention.
-func Silhouette(X [][]float64, assign []int, k int) float64 {
-	n := len(X)
-	if n == 0 || k <= 1 {
-		return 0
-	}
-	clusterRows := make([][]int, k)
-	for i, c := range assign {
-		clusterRows[c] = append(clusterRows[c], i)
-	}
-	total, counted := 0.0, 0
-	for i := range X {
-		own := assign[i]
-		if len(clusterRows[own]) <= 1 {
-			counted++
-			continue // silhouette 0
-		}
-		a := 0.0
-		for _, j := range clusterRows[own] {
-			if j != i {
-				a += EuclideanDistance(X[i], X[j])
-			}
-		}
-		a /= float64(len(clusterRows[own]) - 1)
-
-		b := math.Inf(1)
-		for c := 0; c < k; c++ {
-			if c == own || len(clusterRows[c]) == 0 {
-				continue
-			}
-			d := 0.0
-			for _, j := range clusterRows[c] {
-				d += EuclideanDistance(X[i], X[j])
-			}
-			d /= float64(len(clusterRows[c]))
-			if d < b {
-				b = d
-			}
-		}
-		if math.IsInf(b, 1) {
-			counted++
-			continue
-		}
-		den := math.Max(a, b)
-		if den > 0 {
-			total += (b - a) / den
-		}
-		counted++
-	}
-	if counted == 0 {
-		return 0
-	}
-	return total / float64(counted)
 }
 
 // KMeansAuto runs k-means for every k in [minK, maxK] and returns the
 // clustering with the best silhouette score. This realizes the paper's
 // "the framework can automatically determine the number of classes".
 // maxK is clamped to the number of distinct rows.
+//
+// All restarts of all candidate k fan out together on the worker
+// pool. Small datasets (≤ cfg.SilhouetteExactThreshold rows) are
+// scored with the exact silhouette over a pairwise distance matrix
+// computed once and shared by the whole k sweep; larger ones use the
+// seeded uniform-sample estimator with one common sample across k, so
+// candidate scores stay comparable.
 func KMeansAuto(X [][]float64, minK, maxK int, cfg KMeansConfig) (*KMeansResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
@@ -283,29 +194,60 @@ func KMeansAuto(X [][]float64, minK, maxK int, cfg KMeansConfig) (*KMeansResult,
 		one.K = 1
 		return KMeans(X, one)
 	}
+	m, err := NewMatrix(X)
+	if err != nil {
+		return nil, err
+	}
 
-	var best *KMeansResult
-	bestScore := math.Inf(-1)
-	for k := minK; k <= maxK; k++ {
-		runCfg := cfg
-		runCfg.K = k
-		res, err := KMeans(X, runCfg)
-		if err != nil {
-			return nil, err
-		}
-		score := Silhouette(X, res.Assignments, k)
-		if score > bestScore {
-			best, bestScore = res, score
+	ks := make([]int, maxK-minK+1)
+	for i := range ks {
+		ks[i] = minK + i
+	}
+	perK := runGrid(m, ks, cfg)
+
+	// Draw the sampler seed after the run seeds so the cfg.Rng stream
+	// consumed by a given (minK, maxK, Restarts) sweep is fixed.
+	exact := m.Rows <= cfg.SilhouetteExactThreshold || cfg.SilhouetteSample >= m.Rows
+	var sampleRng *rand.Rand
+	if !exact {
+		sampleRng = rand.New(rand.NewSource(cfg.Rng.Int63()))
+	}
+
+	scores := make([]float64, len(ks))
+	workers := resolveWorkers(cfg.Workers, len(ks))
+	if exact {
+		D := pairwiseDistances(m)
+		parallel.Do(workers, len(ks), func(ki int) {
+			scores[ki] = silhouetteFromDists(D, m.Rows, perK[ki].Assignments, perK[ki].K)
+		})
+	} else {
+		sample := sampleIndices(m.Rows, cfg.SilhouetteSample, sampleRng)
+		parallel.Do(workers, len(ks), func(ki int) {
+			scores[ki] = silhouetteSampled(m, perK[ki].Assignments, perK[ki].K, sample)
+		})
+	}
+
+	best := 0
+	for ki := 1; ki < len(ks); ki++ {
+		if scores[ki] > scores[best] {
+			best = ki
 		}
 	}
-	return best, nil
+	return perK[best], nil
 }
 
+// countDistinctRows counts unique rows by their exact bit patterns.
 func countDistinctRows(X [][]float64) int {
 	seen := make(map[string]struct{}, len(X))
+	var buf []byte
 	for _, row := range X {
-		key := fmt.Sprintf("%v", row)
-		seen[key] = struct{}{}
+		buf = buf[:0]
+		for _, v := range row {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			buf = append(buf, b[:]...)
+		}
+		seen[string(buf)] = struct{}{}
 	}
 	return len(seen)
 }

@@ -1,0 +1,227 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDataset builds an n×d matrix mixing clustered structure with
+// uniform noise so the pruning bounds see both easy and hard points.
+func randomDataset(rng *rand.Rand, n, d int) [][]float64 {
+	centers := 1 + rng.Intn(6)
+	cent := make([][]float64, centers)
+	for c := range cent {
+		cent[c] = make([]float64, d)
+		for j := range cent[c] {
+			cent[c][j] = rng.Float64()*20 - 10
+		}
+	}
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		if rng.Float64() < 0.8 {
+			c := cent[rng.Intn(centers)]
+			for j := range row {
+				row[j] = c[j] + rng.NormFloat64()
+			}
+		} else {
+			for j := range row {
+				row[j] = rng.Float64()*20 - 10
+			}
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func sameResult(t *testing.T, label string, a, b *KMeansResult) {
+	t.Helper()
+	if a.K != b.K || a.Iterations != b.Iterations {
+		t.Fatalf("%s: K/Iterations differ: (%d,%d) vs (%d,%d)",
+			label, a.K, a.Iterations, b.K, b.Iterations)
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatalf("%s: inertia differs: %v vs %v", label, a.Inertia, b.Inertia)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("%s: assignment %d differs: %d vs %d",
+				label, i, a.Assignments[i], b.Assignments[i])
+		}
+	}
+	for c := range a.Centroids {
+		for j := range a.Centroids[c] {
+			if a.Centroids[c][j] != b.Centroids[c][j] {
+				t.Fatalf("%s: centroid[%d][%d] differs: %v vs %v",
+					label, c, j, a.Centroids[c][j], b.Centroids[c][j])
+			}
+		}
+	}
+}
+
+// TestPrunedMatchesNaive is the exactness contract of the Hamerly
+// engine: across random datasets, bound-pruned runs must bit-match the
+// exhaustive-scan path — same assignments, centroids, inertia, and
+// iteration counts — and both must be independent of the worker count.
+func TestPrunedMatchesNaive(t *testing.T) {
+	meta := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + meta.Intn(200)
+		d := 1 + meta.Intn(8)
+		X := randomDataset(meta, n, d)
+		k := 1 + meta.Intn(8)
+		if k > n {
+			k = n
+		}
+		seed := meta.Int63()
+		run := func(naive bool, workers int) *KMeansResult {
+			res, err := KMeans(X, KMeansConfig{
+				K:       k,
+				Rng:     rand.New(rand.NewSource(seed)),
+				Naive:   naive,
+				Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		pruned := run(false, 1)
+		sameResult(t, "pruned vs naive", pruned, run(true, 1))
+		sameResult(t, "workers=1 vs workers=4", pruned, run(false, 4))
+	}
+}
+
+// TestEngineMatchesReferenceSingleRun pins the dense engine's
+// arithmetic to the original [][]float64 implementation: a single
+// restart fed the same RNG must reproduce kmeansOnceRef bit for bit
+// (seeding draws, empty-cluster re-seeds, centroid means, inertia).
+func TestEngineMatchesReferenceSingleRun(t *testing.T) {
+	meta := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + meta.Intn(150)
+		d := 1 + meta.Intn(6)
+		X := randomDataset(meta, n, d)
+		k := 1 + meta.Intn(6)
+		if k > n {
+			k = n
+		}
+		seed := meta.Int63()
+
+		ref := kmeansOnceRef(X, k, 100, rand.New(rand.NewSource(seed)))
+
+		m, err := NewMatrix(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := newKMEngine(m)
+		for _, pruned := range []bool{false, true} {
+			got := e.run(k, 100, rand.New(rand.NewSource(seed)), pruned)
+			sameResult(t, "engine vs reference", ref, got)
+		}
+	}
+}
+
+// TestKMeansAutoMatchesPrunedOffAuto checks the full KMeansAuto
+// pipeline is unaffected by pruning and worker count.
+func TestKMeansAutoPruningAndWorkersInvariant(t *testing.T) {
+	meta := rand.New(rand.NewSource(7))
+	X := randomDataset(meta, 120, 4)
+	seed := meta.Int63()
+	run := func(naive bool, workers int) *KMeansResult {
+		res, err := KMeansAuto(X, 2, 6, KMeansConfig{
+			Rng:     rand.New(rand.NewSource(seed)),
+			Naive:   naive,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(false, 1)
+	sameResult(t, "auto pruned vs naive", base, run(true, 1))
+	sameResult(t, "auto workers=1 vs workers=8", base, run(false, 8))
+}
+
+// TestSilhouetteFromDistsMatchesExact pins the hoisted-distance-matrix
+// silhouette to the exact recomputing implementation bit for bit.
+func TestSilhouetteFromDistsMatchesExact(t *testing.T) {
+	meta := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + meta.Intn(120)
+		X := randomDataset(meta, n, 3)
+		k := 2 + meta.Intn(4)
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = meta.Intn(k)
+		}
+		m, err := NewMatrix(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Silhouette(X, assign, k)
+		got := silhouetteFromDists(pairwiseDistances(m), n, assign, k)
+		if got != want {
+			t.Fatalf("trial %d: silhouetteFromDists=%v Silhouette=%v", trial, got, want)
+		}
+	}
+}
+
+// TestSampledSilhouetteWithinTolerance is the statistical contract of
+// the estimator: on a clustered dataset large enough to trigger
+// sampling, the sampled score must sit close to the exact one.
+func TestSampledSilhouetteWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, truth := threeBlobs(rng, 700) // n=2100 > default threshold
+	exact := Silhouette(X, truth, 3)
+	got, err := SilhouetteEstimate(X, truth, 3, SilhouetteConfig{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-exact) > 0.05 {
+		t.Fatalf("sampled silhouette %v drifted from exact %v by more than 0.05", got, exact)
+	}
+}
+
+// TestSampledSilhouetteSelectsSameK checks the property KMeansAuto
+// actually relies on: the estimator ranks candidate k like the exact
+// score on clusterable data, so the chosen k is unchanged.
+func TestSampledSilhouetteSelectsSameK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, _ := threeBlobs(rng, 400) // n=1200, sampled path in KMeansAuto
+	fast, err := KMeansAuto(X, 2, 8, KMeansConfig{Rng: rand.New(rand.NewSource(42))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := KMeansAutoReference(X, 2, 8, KMeansConfig{Rng: rand.New(rand.NewSource(42))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.K != ref.K {
+		t.Fatalf("fast path chose k=%d, reference chose k=%d", fast.K, ref.K)
+	}
+	if fast.K != 3 {
+		t.Errorf("both paths should find the 3 blobs, got %d", fast.K)
+	}
+}
+
+// TestKMeansAutoExactPathSmallData ensures the exact-threshold branch
+// is taken for small inputs and still behaves deterministically.
+func TestKMeansAutoExactPathSmallData(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X, _ := threeBlobs(rng, 30) // n=90 <= 512: exact silhouette path
+	a, err := KMeansAuto(X, 2, 6, KMeansConfig{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeansAuto(X, 2, 6, KMeansConfig{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "exact path determinism", a, b)
+	if a.K != 3 {
+		t.Errorf("auto K=%d want 3", a.K)
+	}
+}

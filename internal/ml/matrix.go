@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// Matrix is a dense row-major feature matrix: n rows of d contiguous
+// float64s in one backing slice, plus the precomputed squared L2 norm
+// of every row. The clustering engine and the silhouette estimator
+// work on this layout instead of [][]float64 so that distance
+// evaluation is a single fused loop over adjacent memory — no pointer
+// chasing between rows, and the ||a||² − 2a·b + ||b||² expansion needs
+// only the dot product at evaluation time.
+type Matrix struct {
+	// Data holds the rows back to back; row i occupies
+	// Data[i*Cols : (i+1)*Cols].
+	Data []float64
+	// Rows and Cols are the matrix dimensions.
+	Rows, Cols int
+	// Norms[i] is the squared L2 norm of row i.
+	Norms []float64
+}
+
+// NewMatrix flattens X into a dense matrix. It returns an error when X
+// is empty or ragged.
+func NewMatrix(X [][]float64) (*Matrix, error) {
+	if len(X) == 0 {
+		return nil, errors.New("ml: no rows")
+	}
+	d := len(X[0])
+	m := &Matrix{
+		Data:  make([]float64, 0, len(X)*d),
+		Rows:  len(X),
+		Cols:  d,
+		Norms: make([]float64, len(X)),
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, errors.New("ml: ragged feature matrix")
+		}
+		m.Data = append(m.Data, row...)
+		n := 0.0
+		for _, v := range row {
+			n += v * v
+		}
+		m.Norms[i] = n
+	}
+	return m, nil
+}
+
+// Row returns row i as a slice aliasing the backing array.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// dotProduct returns a·b for equal-length vectors.
+func dotProduct(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// normDistance returns the L2 distance between rows with precomputed
+// squared norms na and nb, using the ||a||² − 2a·b + ||b||² expansion.
+// Rounding can drive the expansion slightly negative for near-identical
+// rows, so it clamps at zero. The clustering hot loops deliberately do
+// NOT use this form — they keep the Σ(aᵢ−bᵢ)² formulation so the
+// pruned engine stays bit-identical to the naive reference — but the
+// sampled silhouette estimator (already an approximation) does.
+func normDistance(a, b []float64, na, nb float64) float64 {
+	d := na + nb - 2*dotProduct(a, b)
+	if d < 0 {
+		return 0
+	}
+	return math.Sqrt(d)
+}

@@ -8,6 +8,27 @@
 // CfsSubsetEval + GreedyStepwise); this package re-implements the same
 // algorithms from scratch on the standard library so the repository has
 // no external dependencies.
+//
+// # Clustering engine
+//
+// The clustering path is built for fleet-scale signature sets. KMeans
+// and KMeansAuto flatten their input into a dense row-major Matrix
+// with precomputed squared norms, seed with k-means++ (Arthur &
+// Vassilvitskii, SODA 2007) maintained incrementally in O(n·k·d), and
+// iterate Lloyd's algorithm with Hamerly's distance-bound pruning
+// (Hamerly, SDM 2010) — an exact acceleration whose results are
+// bit-identical to the naive scans (KMeansConfig.Naive toggles the
+// cross-checked fallback). Restarts and the candidate-k sweep fan out
+// on the bounded worker pool shared with the fleet control plane
+// (internal/parallel), with per-worker scratch reuse; per-run derived
+// RNG seeds keep results deterministic regardless of worker count.
+// KMeansAuto scores candidates with the exact silhouette (over a
+// pairwise distance matrix hoisted across the k sweep) on small
+// datasets and a seeded uniform-sample estimator above
+// KMeansConfig.SilhouetteExactThreshold. The pre-optimization path is
+// preserved as KMeansReference / KMeansAutoReference and serves as the
+// baseline for the BENCH_learn.json speedup gate; property tests in
+// kmeans_prop_test.go pin the equivalences.
 package ml
 
 import (

@@ -1,0 +1,31 @@
+package ml
+
+import "math/rand"
+
+// ClusteredDataset synthesizes a signature-like dataset for the
+// learn-phase benchmarks: n rows from classes well-separated Gaussian
+// clusters in dims dimensions (centers uniform in [-8, 8), noise
+// σ=0.8), assigned round-robin so cluster sizes are balanced. The
+// learn-phase regression gate (cmd/dejavu-bench, BENCH_learn.json) and
+// the root bench_test.go sweeps share this one generator so they
+// always exercise the same distribution.
+func ClusteredDataset(seed int64, n, dims, classes int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, dims)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64()*16 - 8
+		}
+	}
+	X := make([][]float64, n)
+	for i := range X {
+		c := centers[i%classes]
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = c[j] + rng.NormFloat64()*0.8
+		}
+		X[i] = row
+	}
+	return X
+}

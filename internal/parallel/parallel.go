@@ -1,0 +1,70 @@
+// Package parallel provides the bounded worker pool shared by the
+// compute-heavy phases of the repository: the fleet control plane
+// (internal/fleet) drives its per-VM simulations through it, and the
+// learning phase (internal/ml's k-means restarts × candidate-k sweep)
+// fans its clustering runs out on it. Centralizing the pool keeps the
+// two subsystems from oversubscribing the machine when they run
+// concurrently — both size themselves off GOMAXPROCS by default — and
+// gives callers a single place to reason about scheduling.
+//
+// The pool is deliberately tiny: no futures, no contexts, no error
+// plumbing. Work items are identified by index, errors travel through
+// caller-owned slices indexed the same way, and determinism is the
+// caller's job (every user in this repository derives per-item RNG
+// seeds up front, so results are independent of worker count and
+// scheduling order).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(i) for every i in [0, n), using at most workers
+// goroutines. workers <= 0 means GOMAXPROCS. The call returns when all
+// items have been processed. Items are claimed dynamically, so uneven
+// item costs still load-balance; with workers == 1 (or n == 1) fn runs
+// inline on the calling goroutine with zero scheduling overhead.
+func Do(workers, n int, fn func(i int)) {
+	DoWorkers(workers, n, func(_, i int) { fn(i) })
+}
+
+// DoWorkers is Do for workloads that keep per-worker scratch state:
+// fn additionally receives the worker index in [0, workers), so a
+// caller can preallocate one scratch buffer per worker and reuse it
+// across all items that worker claims — the allocation pattern the
+// k-means engine uses to keep restart fan-out garbage-free.
+func DoWorkers(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

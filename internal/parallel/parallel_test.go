@@ -1,0 +1,53 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]int32, n)
+			Do(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDoWorkersIDsInRange(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int32
+	counts := make([]int32, workers)
+	DoWorkers(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+			return
+		}
+		atomic.AddInt32(&counts[w], 1)
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d items saw an out-of-range worker id", bad.Load())
+	}
+	total := int32(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("processed %d items, want %d", total, n)
+	}
+}
+
+func TestDoSingleWorkerRunsInOrder(t *testing.T) {
+	var order []int
+	Do(1, 10, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("workers=1 should run in index order, got %v", order)
+		}
+	}
+}

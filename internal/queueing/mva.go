@@ -14,6 +14,15 @@
 //	R(n)   = sum_i R_i(n)
 //	X(n)   = n / (Z + R(n))          system throughput
 //	Q_i(n) = X(n) * R_i(n)           station queue length
+//
+// Because the recurrence runs over populations 1..N, re-solving the
+// same network at a slightly larger population repeats nearly all the
+// work; MemoSolver memoizes the recurrence state per network
+// parameterization and extends it incrementally — the package's
+// equivalent of the paper's observation that cached decisions make
+// adaptation an order of magnitude cheaper than recomputing them.
+// Memoized results are bit-equal to direct solves (pinned by
+// memo_test.go).
 package queueing
 
 import (

@@ -48,7 +48,7 @@ func (o *oracleController) Step(obs *Observation) (Action, error) {
 // errController returns an error on the first step.
 type errController struct{}
 
-func (errController) Name() string                     { return "err" }
+func (errController) Name() string                      { return "err" }
 func (errController) Step(*Observation) (Action, error) { return Action{}, errors.New("boom") }
 
 func flatTrace(clients float64, hours int) *trace.Trace {
