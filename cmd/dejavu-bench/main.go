@@ -7,6 +7,8 @@
 //	go run ./cmd/dejavu-bench -check BENCH_fleet.json        # fail on regression
 //	go run ./cmd/dejavu-bench -learn-out BENCH_learn.json    # refresh learn-phase baseline
 //	go run ./cmd/dejavu-bench -learn-check BENCH_learn.json  # fail on regression
+//	go run ./cmd/dejavu-bench -serve-out BENCH_serve.json    # refresh decision-service baseline
+//	go run ./cmd/dejavu-bench -serve-check BENCH_serve.json  # fail on regression
 //
 // With -check, the run fails (exit 1) when fleet steps/s drops more
 // than -tolerance (default 20%) below the baseline, or when a
@@ -20,13 +22,18 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"testing"
 	"time"
 
@@ -34,7 +41,9 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/queueing"
+	"repro/internal/server"
 	"repro/internal/services"
 	"repro/internal/sim"
 )
@@ -90,6 +99,162 @@ type LearnReport struct {
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	KMeansAuto LearnBench `json:"kmeans_auto"`
+}
+
+// ServeBench is the decision-service measurement: concurrent clients
+// hammering batched lookups at a dejavud server over loopback HTTP.
+type ServeBench struct {
+	Clients         int     `json:"clients"`
+	Batch           int     `json:"batch"`
+	Requests        int     `json:"requests"`
+	Seconds         float64 `json:"seconds"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	HitPct          float64 `json:"hit_pct"`
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Serve      ServeBench `json:"serve"`
+}
+
+// benchServe learns a small repository, serves it through the real
+// internal/server HTTP stack on loopback, and drives `clients`
+// concurrent connections issuing `requests` batched lookups. The
+// decision path's 0 allocs/op is pinned separately by the package's
+// TestDecideZeroAlloc; this measures end-to-end serving throughput
+// and tail latency.
+func benchServe(clients, batch, requests int) (ServeBench, error) {
+	sb := ServeBench{Clients: clients, Batch: batch, Requests: requests}
+	svc := services.NewCassandra()
+	learnRng := rand.New(rand.NewSource(17))
+	prof, err := core.NewProfiler(svc, learnRng)
+	if err != nil {
+		return sb, err
+	}
+	tuner, err := fleet.DefaultTuner(svc)
+	if err != nil {
+		return sb, err
+	}
+	var workloads []services.Workload
+	for c := 100.0; c <= 460; c += 30 {
+		workloads = append(workloads, services.Workload{Clients: c, Mix: svc.DefaultMix()})
+	}
+	repo, _, err := core.Learn(core.LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: workloads,
+		Rng:       learnRng,
+	})
+	if err != nil {
+		return sb, err
+	}
+	handle, err := core.NewHandle(repo)
+	if err != nil {
+		return sb, err
+	}
+	srv, err := server.New(server.Config{Handle: handle})
+	if err != nil {
+		return sb, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sb, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	// One foreseen signature, batched: the steady-state hit path.
+	sig, err := prof.Profile(services.Workload{Clients: 300, Mix: svc.DefaultMix()}, repo.EventsRef())
+	if err != nil {
+		return sb, err
+	}
+	var body bytes.Buffer
+	body.WriteString(`{"bucket":0,"signatures":[`)
+	for i := 0; i < batch; i++ {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		body.WriteByte('[')
+		for j, v := range sig.Values {
+			if j > 0 {
+				body.WriteByte(',')
+			}
+			body.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
+		}
+		body.WriteByte(']')
+	}
+	body.WriteString(`]}`)
+	payload := body.Bytes()
+	url := "http://" + ln.Addr().String() + "/v1/lookup"
+
+	httpClients := make([]*http.Client, clients)
+	for i := range httpClients {
+		httpClients[i] = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	}
+
+	// Best of three passes (like the learn bench): loopback HTTP
+	// throughput on a small shared runner is noisy, and the gate
+	// compares against the best the machine can do.
+	for trial := 0; trial < 3; trial++ {
+		latencies := make([][]time.Duration, clients)
+		errs := make([]error, clients)
+		start := time.Now()
+		parallel.DoWorkers(clients, requests, func(worker, _ int) {
+			if errs[worker] != nil {
+				return
+			}
+			t0 := time.Now()
+			resp, err := httpClients[worker].Post(url, "application/json", bytes.NewReader(payload))
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[worker] = fmt.Errorf("serve bench: HTTP %d", resp.StatusCode)
+				return
+			}
+			latencies[worker] = append(latencies[worker], time.Since(t0))
+		})
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return sb, err
+			}
+		}
+		if dps := float64(requests*batch) / elapsed.Seconds(); dps > sb.DecisionsPerSec {
+			var all []time.Duration
+			for _, l := range latencies {
+				all = append(all, l...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			quantile := func(q float64) float64 {
+				idx := int(q * float64(len(all)-1))
+				return float64(all[idx].Microseconds()) / 1000
+			}
+			sb.Seconds = elapsed.Seconds()
+			sb.DecisionsPerSec = dps
+			sb.P50Ms = quantile(0.50)
+			sb.P99Ms = quantile(0.99)
+		}
+	}
+	sb.HitPct = 100 * repo.HitRate()
+	return sb, nil
+}
+
+func serveCheck(current, baseline *ServeReport, tolerance float64) error {
+	floor := baseline.Serve.DecisionsPerSec * (1 - tolerance)
+	if current.Serve.DecisionsPerSec < floor {
+		return fmt.Errorf("serve decisions/s regressed: %.0f < %.0f (baseline %.0f - %d%%)",
+			current.Serve.DecisionsPerSec, floor, baseline.Serve.DecisionsPerSec, int(tolerance*100))
+	}
+	return nil
 }
 
 func benchLearn(n int) (LearnBench, error) {
@@ -303,6 +468,53 @@ func writeJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
+// fatalf prints a prefixed error and exits 1.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dejavu-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// readBaseline reads and parses a committed baseline file, exiting on
+// failure; nil means no baseline was requested. Baselines are read up
+// front so `-out X -check X` regresses against the previous contents,
+// not the freshly written ones.
+func readBaseline[T any](path, what string) *T {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read %s baseline: %v", what, err)
+	}
+	b := new(T)
+	if err := json.Unmarshal(data, b); err != nil {
+		fatalf("parse %s baseline: %v", what, err)
+	}
+	return b
+}
+
+// emitReport prints the report to stdout and, when outPath is set,
+// writes it there too, exiting on failure.
+func emitReport(outPath string, v any) {
+	if err := writeJSON(os.Stdout, v); err != nil {
+		fatalf("%v", err)
+	}
+	if outPath == "" {
+		return
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	err = writeJSON(f, v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "write results to this JSON file")
 	checkPath := flag.String("check", "", "compare against this baseline JSON and fail on regression")
@@ -312,34 +524,35 @@ func main() {
 	learnCheckPath := flag.String("learn-check", "", "compare the learn phase against this baseline JSON and fail on regression")
 	learnN := flag.Int("learn-n", 6000, "signature-set size for the learn-phase benchmark")
 	speedupFloor := flag.Float64("learn-speedup-floor", 5.0, "minimum KMeansAuto speedup over the reference path with -learn-check")
+	serveOut := flag.String("serve-out", "", "write decision-service results to this JSON file")
+	serveCheckPath := flag.String("serve-check", "", "compare the decision service against this baseline JSON and fail on regression")
+	serveClients := flag.Int("serve-clients", 8, "concurrent load-generator clients for the serve benchmark")
+	serveBatch := flag.Int("serve-batch", 16, "signatures per batched lookup in the serve benchmark")
+	serveRequests := flag.Int("serve-requests", 8000, "total requests issued by the serve benchmark")
 	flag.Parse()
 
-	// Read the baselines up front so `-out X -check X` regresses
-	// against the previous contents, not the freshly written ones.
-	var baseline *Report
-	if *checkPath != "" {
-		data, err := os.ReadFile(*checkPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench: read baseline:", err)
-			os.Exit(1)
+	baseline := readBaseline[Report](*checkPath, "fleet")
+	learnBaseline := readBaseline[LearnReport](*learnCheckPath, "learn")
+	serveBaseline := readBaseline[ServeReport](*serveCheckPath, "serve")
+
+	// The decision-service benchmark runs when asked for.
+	if *serveOut != "" || *serveCheckPath != "" {
+		serveRep := &ServeReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		var err error
+		if serveRep.Serve, err = benchServe(*serveClients, *serveBatch, *serveRequests); err != nil {
+			fatalf("serve: %v", err)
 		}
-		baseline = &Report{}
-		if err := json.Unmarshal(data, baseline); err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench: parse baseline:", err)
-			os.Exit(1)
+		emitReport(*serveOut, serveRep)
+		if serveBaseline != nil {
+			if err := serveCheck(serveRep, serveBaseline, *tolerance); err != nil {
+				fatalf("REGRESSION: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "dejavu-bench: serve ok vs %s (%.0f decisions/s, p99 %.2fms)\n",
+				*serveCheckPath, serveRep.Serve.DecisionsPerSec, serveRep.Serve.P99Ms)
 		}
-	}
-	var learnBaseline *LearnReport
-	if *learnCheckPath != "" {
-		data, err := os.ReadFile(*learnCheckPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench: read learn baseline:", err)
-			os.Exit(1)
-		}
-		learnBaseline = &LearnReport{}
-		if err := json.Unmarshal(data, learnBaseline); err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench: parse learn baseline:", err)
-			os.Exit(1)
+		// Serve-only invocations skip the other benchmarks.
+		if *out == "" && *checkPath == "" && *learnOut == "" && *learnCheckPath == "" {
+			return
 		}
 	}
 
@@ -349,32 +562,12 @@ func main() {
 		learnRep := &LearnReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 		var err error
 		if learnRep.KMeansAuto, err = benchLearn(*learnN); err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench: learn:", err)
-			os.Exit(1)
+			fatalf("learn: %v", err)
 		}
-		if err := writeJSON(os.Stdout, learnRep); err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
-			os.Exit(1)
-		}
-		if *learnOut != "" {
-			f, err := os.Create(*learnOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
-				os.Exit(1)
-			}
-			err = writeJSON(f, learnRep)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
-				os.Exit(1)
-			}
-		}
+		emitReport(*learnOut, learnRep)
 		if learnBaseline != nil {
 			if err := learnCheck(learnRep, learnBaseline, *tolerance, *speedupFloor); err != nil {
-				fmt.Fprintln(os.Stderr, "dejavu-bench: REGRESSION:", err)
-				os.Exit(1)
+				fatalf("REGRESSION: %v", err)
 			}
 			fmt.Fprintf(os.Stderr, "dejavu-bench: learn phase ok vs %s (%.1fms, %.1fx over reference, k=%d)\n",
 				*learnCheckPath, learnRep.KMeansAuto.FastMs, learnRep.KMeansAuto.Speedup, learnRep.KMeansAuto.ChosenK)
@@ -388,46 +581,22 @@ func main() {
 	rep := &Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	var err error
 	if rep.Fleet, err = benchFleet(*vms); err != nil {
-		fmt.Fprintln(os.Stderr, "dejavu-bench: fleet:", err)
-		os.Exit(1)
+		fatalf("fleet: %v", err)
 	}
 	if rep.SignatureCollection, err = benchSignatureCollection(); err != nil {
-		fmt.Fprintln(os.Stderr, "dejavu-bench: signature collection:", err)
-		os.Exit(1)
+		fatalf("signature collection: %v", err)
 	}
 	rep.ServicePerf = benchServicePerf()
 	if rep.MVASolve, err = benchMVA(false); err != nil {
-		fmt.Fprintln(os.Stderr, "dejavu-bench: mva:", err)
-		os.Exit(1)
+		fatalf("mva: %v", err)
 	}
 	if rep.MVAMemoized, err = benchMVA(true); err != nil {
-		fmt.Fprintln(os.Stderr, "dejavu-bench: mva memo:", err)
-		os.Exit(1)
+		fatalf("mva memo: %v", err)
 	}
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(rep)
-
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
-			os.Exit(1)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench:", err)
-			os.Exit(1)
-		}
-		_ = f.Close()
-	}
-
+	emitReport(*out, rep)
 	if baseline != nil {
 		if err := check(rep, baseline, *tolerance); err != nil {
-			fmt.Fprintln(os.Stderr, "dejavu-bench: REGRESSION:", err)
-			os.Exit(1)
+			fatalf("REGRESSION: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "dejavu-bench: no regression vs %s (steps/s %.0f >= %.0f)\n",
 			*checkPath, rep.Fleet.StepsPerSec, baseline.Fleet.StepsPerSec*(1-*tolerance))

@@ -208,7 +208,7 @@ func run(w io.Writer, traceName, controller string, days int, seed int64, calmMi
 		}
 		r := res.Records[i+59]
 		fmt.Fprintf(w, "%-6d %-10.0f %-6d %-10.1f %d/60\n",
-			i/60, clients/60, r.Allocation.Count, lat/60, bad)
+			i/60, clients/60, r.Alloc.Count, lat/60, bad)
 	}
 	fixed := sim.FixedMaxCost(svc, window)
 	fmt.Fprintf(w, "\ncontroller: %s over %d days (after 1 learning day)\n", res.Controller, days-1)

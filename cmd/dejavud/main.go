@@ -1,0 +1,238 @@
+// Command dejavud is the DejaVu decision daemon: a long-running
+// network service that owns a learned signature repository and serves
+// classify/lookup decisions over HTTP/JSON to a fleet of controllers,
+// completing the reproduction's path from in-process library to
+// deployable control-plane service.
+//
+// Lifecycle:
+//
+//   - On start, the daemon loads the repository from -snapshot if the
+//     file exists; otherwise it runs the learning phase over a
+//     synthetic learning day for -service and persists the result.
+//   - At runtime it serves POST /v1/classify, POST /v1/lookup (single
+//     or batched), POST /v1/put, GET /v1/stats, GET /metrics, and
+//     POST /v1/snapshot. The decision path is allocation-free; the
+//     repository sits behind a versioned atomic handle.
+//   - An online drift monitor tracks the unforeseen-signature rate
+//     per window; when it crosses the threshold, the daemon
+//     re-clusters the recently observed signatures in the background
+//     (fanning out on the shared worker pool) and hot-swaps the new
+//     repository version without blocking in-flight requests.
+//   - On SIGINT/SIGTERM the daemon stops accepting connections,
+//     drains, snapshots the repository, and exits — the next start
+//     resumes from the snapshot with identical decisions.
+//
+// Example:
+//
+//	dejavud -addr :7700 -service cassandra -snapshot /var/lib/dejavud/cassandra.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/services"
+	"repro/internal/trace"
+)
+
+// newService instantiates a service template by name.
+func newService(name string) (services.Service, error) {
+	switch name {
+	case "cassandra":
+		return services.NewCassandra(), nil
+	case "specweb":
+		return services.NewSPECWeb(), nil
+	case "rubis":
+		return services.NewRUBiS(), nil
+	}
+	return nil, fmt.Errorf("unknown service %q (want cassandra, specweb, or rubis)", name)
+}
+
+// peakClients mirrors the fleet scenario generator's operating points:
+// the learning-day peak saturates roughly 3/4 of full capacity.
+func peakClients(svc services.Service) float64 {
+	switch svc.Name() {
+	case "specweb":
+		return 350
+	case "rubis":
+		return 800
+	default: // cassandra
+		return 480
+	}
+}
+
+// learnRepository runs the learning phase over a synthetic learning
+// day, like a fleet template's first VM would.
+func learnRepository(svc services.Service, seed int64, workers int) (*core.Repository, error) {
+	learnRng := rand.New(rand.NewSource(seed))
+	week := trace.Messenger(trace.SynthConfig{Rng: learnRng, DailyPhaseShift: true}).ScaleTo(peakClients(svc))
+	day, err := week.Day(0)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := core.NewProfiler(svc, learnRng)
+	if err != nil {
+		return nil, err
+	}
+	tuner, err := fleet.DefaultTuner(svc)
+	if err != nil {
+		return nil, err
+	}
+	repo, report, err := core.Learn(core.LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: core.WorkloadsFromTrace(day, svc.DefaultMix()),
+		Rng:       learnRng,
+		Workers:   workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("dejavud: learned %d classes over %d workloads (classifier accuracy %.2f)",
+		report.Classes, report.NumWorkloads, report.ClassifierAccuracy)
+	return repo, nil
+}
+
+func run() error {
+	addr := flag.String("addr", ":7700", "listen address")
+	serviceName := flag.String("service", "cassandra", "service template: cassandra, specweb, or rubis")
+	snapshot := flag.String("snapshot", "dejavud-repo.json", "repository snapshot path (load on start, write on shutdown); empty disables persistence")
+	seed := flag.Int64("seed", 42, "seed for learning and re-learning randomness")
+	workers := flag.Int("workers", 0, "clustering fan-out bound (0 = GOMAXPROCS)")
+	driftWindow := flag.Int("drift-window", 512, "decisions per drift observation window")
+	driftThreshold := flag.Float64("drift-threshold", 0.5, "unforeseen fraction that triggers re-learning")
+	noRelearn := flag.Bool("no-relearn", false, "disable drift-triggered background re-learning")
+	flag.Parse()
+
+	svc, err := newService(*serviceName)
+	if err != nil {
+		return err
+	}
+
+	// Repository: snapshot if present, fresh learning phase otherwise.
+	// A snapshot that exists but fails to parse (torn write from a
+	// crash, manual corruption) is set aside and re-learned from
+	// scratch rather than wedging the daemon on start.
+	var repo *core.Repository
+	learned := false
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			repo, err = core.LoadRepository(f)
+			f.Close()
+			if err != nil {
+				bad := *snapshot + ".corrupt"
+				if rerr := os.Rename(*snapshot, bad); rerr != nil {
+					return fmt.Errorf("load snapshot %s: %w (and could not set it aside: %v)", *snapshot, err, rerr)
+				}
+				log.Printf("dejavud: WARNING: snapshot %s is unreadable (%v); moved to %s, re-learning",
+					*snapshot, err, bad)
+				repo = nil
+			} else {
+				log.Printf("dejavud: loaded repository from %s (%d classes, %d entries)",
+					*snapshot, repo.Classes(), repo.Len())
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("open snapshot %s: %w", *snapshot, err)
+		}
+	}
+	if repo == nil {
+		log.Printf("dejavud: no snapshot, learning %s from a synthetic day...", svc.Name())
+		if repo, err = learnRepository(svc, *seed, *workers); err != nil {
+			return err
+		}
+		learned = true
+	}
+
+	handle, err := core.NewHandle(repo)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{
+		Handle:       handle,
+		SnapshotPath: *snapshot,
+		Drift: server.DriftConfig{
+			Window:    *driftWindow,
+			Threshold: *driftThreshold,
+		},
+		Logf: log.Printf,
+	}
+	if !*noRelearn {
+		relearnRound := 0
+		cfg.Relearn = func(events []metrics.Event, rows [][]float64) (*core.Repository, error) {
+			relearnRound++ // single-flight: no concurrent calls
+			return core.RelearnFromSignatures(events, rows, core.OnlineRelearnConfig{
+				Rng:     rng.New(rng.Derive(*seed, relearnRound)),
+				Workers: *workers,
+			})
+		}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Persist a fresh learning run right away: a non-graceful death
+	// later must not cost the whole learning phase again.
+	if learned && *snapshot != "" {
+		_, path, err := s.Snapshot()
+		if err != nil {
+			return fmt.Errorf("persist learned repository: %w", err)
+		}
+		log.Printf("dejavud: persisted learned repository to %s", path)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dejavud: serving %s decisions on %s (version %d)", svc.Name(), *addr, handle.Version())
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight requests, then persist.
+	log.Printf("dejavud: shutting down...")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutdownCancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("dejavud: drain: %v", err)
+	}
+	if *snapshot != "" {
+		v, path, err := s.Snapshot()
+		if err != nil {
+			return fmt.Errorf("shutdown snapshot: %w", err)
+		}
+		log.Printf("dejavud: snapshotted repository version %d to %s", v, path)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dejavud:", err)
+		os.Exit(1)
+	}
+}

@@ -93,7 +93,7 @@ func main() {
 		for h := 0; h < 24; h += 3 {
 			idx := (day*24+h)*60 + 30
 			if idx < len(dv.Records) {
-				fmt.Printf("%2d/%-2d ", dv.Records[idx].Allocation.Count, ap.Records[idx].Allocation.Count)
+				fmt.Printf("%2d/%-2d ", dv.Records[idx].Alloc.Count, ap.Records[idx].Alloc.Count)
 			}
 		}
 		fmt.Println()

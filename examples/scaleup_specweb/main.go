@@ -85,7 +85,7 @@ func main() {
 				break
 			}
 			c := "L"
-			if res.Records[idx].Allocation.Type.Name == cloud.XLarge.Name {
+			if res.Records[idx].Alloc.Type == cloud.XLargeID {
 				c = "X"
 			}
 			fmt.Print(c)

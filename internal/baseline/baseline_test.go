@@ -212,7 +212,7 @@ func TestRightScaleScalesDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	final := res.Records[len(res.Records)-1].Allocation.Count
+	final := int(res.Records[len(res.Records)-1].Alloc.Count)
 	if final >= 10 {
 		t.Errorf("rightscale should scale down, final=%d", final)
 	}

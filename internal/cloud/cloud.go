@@ -42,6 +42,50 @@ var (
 // Catalog returns the instance types in ascending capacity order.
 func Catalog() []InstanceType { return []InstanceType{Small, Large, XLarge} }
 
+// TypeID is a compact pointer-free index into the instance catalog.
+// Bulk record stores (the fleet's step-record arena) hold TypeIDs
+// instead of InstanceType values so the GC never has to scan them:
+// an InstanceType carries its Name string, and one string pointer per
+// record is enough to make a multi-million-record slab a scan target.
+type TypeID uint8
+
+// The catalog indices. NoType is the zero value, representing the
+// absence of an allocation (e.g. a zero Allocation).
+const (
+	NoType TypeID = iota
+	SmallID
+	LargeID
+	XLargeID
+)
+
+// ID returns the catalog index for the type; unknown (including
+// zero-value) types map to NoType.
+func (t InstanceType) ID() TypeID {
+	switch t.Name {
+	case Small.Name:
+		return SmallID
+	case Large.Name:
+		return LargeID
+	case XLarge.Name:
+		return XLargeID
+	}
+	return NoType
+}
+
+// Instance resolves the index back to the catalog entry; NoType (and
+// out-of-range values) yield the zero InstanceType.
+func (id TypeID) Instance() InstanceType {
+	switch id {
+	case SmallID:
+		return Small
+	case LargeID:
+		return Large
+	case XLargeID:
+		return XLarge
+	}
+	return InstanceType{}
+}
+
 // TypeByName looks up a catalog entry.
 func TypeByName(name string) (InstanceType, error) {
 	for _, t := range Catalog() {

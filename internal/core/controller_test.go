@@ -136,7 +136,7 @@ func TestControllerUnforeseenFallsBackToFullCapacity(t *testing.T) {
 	surgeStart := 20 * 60 // minute index of hour 20
 	fullAt := false
 	for i := surgeStart + 2; i < surgeStart+60 && i < len(res.Records); i++ {
-		if res.Records[i].Allocation.Count == svc.MaxInstances {
+		if int(res.Records[i].Alloc.Count) == svc.MaxInstances {
 			fullAt = true
 			break
 		}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// VersionedRepository pairs an immutable repository snapshot with a
+// monotonically increasing version number. Decision-path readers grab
+// one VersionedRepository and use it for the whole request, so every
+// decision is served from a single consistent snapshot even while a
+// background relearn swaps a new repository in.
+type VersionedRepository struct {
+	// Repo is the repository snapshot. The learned artifacts are
+	// immutable; the allocation entries keep accepting Puts, which is
+	// intended — entries added against version v remain visible to
+	// every reader of v.
+	Repo *Repository
+	// Version counts swaps since the handle was created, starting
+	// at 1.
+	Version uint64
+}
+
+// Handle is the swap-safe owner of a repository: a single atomic
+// pointer to the current VersionedRepository. Readers never lock;
+// writers build the replacement completely off the request path and
+// publish it with one pointer store. This is the server-side analogue
+// of Controller.ReplaceRepository for concurrent, network-facing use.
+type Handle struct {
+	cur atomic.Pointer[VersionedRepository]
+}
+
+// NewHandle creates a handle owning the given repository at version 1.
+func NewHandle(repo *Repository) (*Handle, error) {
+	if repo == nil {
+		return nil, errors.New("core: handle needs a repository")
+	}
+	h := &Handle{}
+	h.cur.Store(&VersionedRepository{Repo: repo, Version: 1})
+	return h, nil
+}
+
+// Current returns the live snapshot; never nil. Callers must read
+// Repo and Version from the returned value, not via separate Handle
+// calls, to stay on one snapshot.
+func (h *Handle) Current() *VersionedRepository { return h.cur.Load() }
+
+// Version returns the live snapshot's version.
+func (h *Handle) Version() uint64 { return h.cur.Load().Version }
+
+// Swap publishes a freshly built repository and returns its version.
+// In-flight readers keep serving from the snapshot they already hold;
+// new readers see the replacement immediately.
+func (h *Handle) Swap(repo *Repository) (uint64, error) {
+	if repo == nil {
+		return 0, errors.New("core: cannot swap in a nil repository")
+	}
+	for {
+		old := h.cur.Load()
+		next := &VersionedRepository{Repo: repo, Version: old.Version + 1}
+		if h.cur.CompareAndSwap(old, next) {
+			return next.Version, nil
+		}
+	}
+}

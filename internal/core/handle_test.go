@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/services"
+)
+
+// learnTestRepository builds a small populated repository for tests.
+func learnTestRepository(t testing.TB, seed int64) *Repository {
+	t.Helper()
+	svc := services.NewCassandra()
+	rng := rand.New(rand.NewSource(seed))
+	prof, err := NewProfiler(svc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewScaleOutTuner(svc, svc.MaxAllocation().Type, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workloads []services.Workload
+	for c := 100.0; c <= 460; c += 30 {
+		workloads = append(workloads, services.Workload{Clients: c, Mix: svc.DefaultMix()})
+	}
+	repo, _, err := Learn(LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: workloads,
+		Rng:       rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestHandleSwapVersions(t *testing.T) {
+	repo := learnTestRepository(t, 1)
+	if _, err := NewHandle(nil); err == nil {
+		t.Error("nil repository should be rejected")
+	}
+	h, err := NewHandle(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := h.Current()
+	if cur.Repo != repo || cur.Version != 1 {
+		t.Fatalf("fresh handle: %+v", cur)
+	}
+	if _, err := h.Swap(nil); err == nil {
+		t.Error("nil swap should be rejected")
+	}
+	next := learnTestRepository(t, 2)
+	v, err := h.Swap(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || h.Version() != 2 || h.Current().Repo != next {
+		t.Fatalf("after swap: v=%d current=%+v", v, h.Current())
+	}
+	// The old snapshot is untouched — in-flight readers holding it
+	// keep a consistent view.
+	if cur.Repo != repo || cur.Version != 1 {
+		t.Fatalf("old snapshot mutated: %+v", cur)
+	}
+}
+
+// TestHandleConcurrentSwap hammers Swap from many goroutines and
+// checks versions stay dense and monotonic (run with -race).
+func TestHandleConcurrentSwap(t *testing.T) {
+	repo := learnTestRepository(t, 3)
+	h, err := NewHandle(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const swappers, swapsEach = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < swappers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < swapsEach; i++ {
+				if _, err := h.Swap(repo); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Version(), uint64(1+swappers*swapsEach); got != want {
+		t.Errorf("final version %d, want %d (every swap must claim a distinct version)", got, want)
+	}
+}
+
+func TestRelearnFromSignatures(t *testing.T) {
+	repo := learnTestRepository(t, 4)
+	events := repo.EventsRef()
+
+	// A drifted corpus: two well-separated blobs in signature space.
+	rng := rand.New(rand.NewSource(9))
+	var rows [][]float64
+	for i := 0; i < 60; i++ {
+		base := 10.0
+		if i%2 == 1 {
+			base = 200.0
+		}
+		row := make([]float64, len(events))
+		for j := range row {
+			row[j] = base * (1 + 0.05*rng.NormFloat64()) * float64(j+1)
+		}
+		rows = append(rows, row)
+	}
+	fresh, err := RelearnFromSignatures(events, rows, OnlineRelearnConfig{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Classes() < 2 {
+		t.Errorf("two-blob corpus should yield >= 2 classes, got %d", fresh.Classes())
+	}
+	if fresh.Len() != 0 {
+		t.Errorf("fresh repository should start with no allocation entries, has %d", fresh.Len())
+	}
+	// Training rows classify as foreseen; a signature far outside the
+	// corpus is unforeseen.
+	sig := &Signature{Events: events, Values: rows[0]}
+	if _, _, unforeseen, err := fresh.Classify(sig); err != nil || unforeseen {
+		t.Errorf("training row should be foreseen (unforeseen=%v err=%v)", unforeseen, err)
+	}
+	far := make([]float64, len(events))
+	for j := range far {
+		far[j] = 1e6
+	}
+	if _, _, unforeseen, err := fresh.Classify(&Signature{Events: events, Values: far}); err != nil || !unforeseen {
+		t.Errorf("distant signature should be unforeseen (unforeseen=%v err=%v)", unforeseen, err)
+	}
+
+	// Determinism: with the Rng in the same state, the rebuild yields
+	// the same class count. (The first call above consumed rng, so
+	// replay it from the same point.)
+	replay := rand.New(rand.NewSource(9))
+	for i := 0; i < 60*len(events); i++ {
+		replay.NormFloat64() // advance past the corpus draws
+	}
+	again, err := RelearnFromSignatures(events, rows, OnlineRelearnConfig{Rng: replay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Classes() != fresh.Classes() {
+		t.Errorf("same-seed relearn chose %d classes, first run %d", again.Classes(), fresh.Classes())
+	}
+
+	// Validation paths.
+	if _, err := RelearnFromSignatures(nil, rows, OnlineRelearnConfig{Rng: rng}); err == nil {
+		t.Error("empty events should be rejected")
+	}
+	if _, err := RelearnFromSignatures(events, rows, OnlineRelearnConfig{}); err == nil {
+		t.Error("missing Rng should be rejected")
+	}
+	if _, err := RelearnFromSignatures(events, rows[:2], OnlineRelearnConfig{Rng: rng}); err == nil {
+		t.Error("tiny corpus should be rejected")
+	}
+	bad := make([][]float64, 4)
+	for i := range bad {
+		bad[i] = make([]float64, len(events)+1)
+	}
+	if _, err := RelearnFromSignatures(events, bad, OnlineRelearnConfig{Rng: rng}); err == nil {
+		t.Error("width-mismatched rows should be rejected")
+	}
+}

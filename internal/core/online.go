@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/ml"
+)
+
+// Online re-learning — the server-side analogue of the §3.5 staleness
+// loop. The sim-embedded Relearner re-runs the whole learning phase
+// (profiling, CFS, tuning) because it owns a profiling environment;
+// a network decision service owns only the signatures its clients
+// send. RelearnFromSignatures therefore rebuilds the parts of the
+// repository that go stale — the clustering, novelty radii, and
+// runtime classifier — directly from recently observed signatures,
+// keeping the signature metric tuple fixed. Allocation entries start
+// empty: class identities change with the clustering, and the DejaVu
+// protocol already repopulates entries on misses (clients tune and
+// Put, exactly like a fresh learning day).
+
+// OnlineRelearnConfig parameterizes RelearnFromSignatures. The zero
+// value of every field except Rng picks the Learn defaults.
+type OnlineRelearnConfig struct {
+	// MinK and MaxK bound the cluster count search (defaults 2, 6).
+	MinK, MaxK int
+	// Classifier is "c45" (default) or "bayes".
+	Classifier string
+	// CertaintyThreshold is the cache-hit confidence floor
+	// (default 0.6).
+	CertaintyThreshold float64
+	// NoveltyTolerance inflates the per-class training radius
+	// (default 2.0).
+	NoveltyTolerance float64
+	// MinNoveltyRadius floors the radius (default 1.0).
+	MinNoveltyRadius float64
+	// Rng drives clustering restarts; required. Only derived per-run
+	// seeds are consumed, so results are Workers-independent.
+	Rng *rand.Rand
+	// Workers bounds the clustering fan-out on the shared
+	// internal/parallel pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RelearnFromSignatures builds a fresh repository over the given
+// signature metric tuple from recently observed signature rows
+// (len(events) values each, profiler-normalized like Signature.Values).
+// It runs entirely off any decision path: callers build the new
+// repository in the background and publish it through Handle.Swap.
+func RelearnFromSignatures(events []metrics.Event, rows [][]float64, cfg OnlineRelearnConfig) (*Repository, error) {
+	if len(events) == 0 {
+		return nil, errors.New("core: relearn needs signature events")
+	}
+	if cfg.Rng == nil {
+		return nil, errors.New("core: relearn needs a Rng")
+	}
+	if cfg.MinK <= 0 {
+		cfg.MinK = 2
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 6
+	}
+	if cfg.Classifier == "" {
+		cfg.Classifier = "c45"
+	}
+	if cfg.Classifier != "c45" && cfg.Classifier != "bayes" {
+		return nil, fmt.Errorf("core: unknown classifier %q", cfg.Classifier)
+	}
+	if cfg.CertaintyThreshold == 0 {
+		cfg.CertaintyThreshold = 0.6
+	}
+	if cfg.NoveltyTolerance == 0 {
+		cfg.NoveltyTolerance = 2.0
+	}
+	if cfg.MinNoveltyRadius == 0 {
+		cfg.MinNoveltyRadius = 1.0
+	}
+	if len(rows) < 2*cfg.MinK {
+		return nil, fmt.Errorf("core: %d signatures are too few to re-cluster (need >= %d)", len(rows), 2*cfg.MinK)
+	}
+
+	ds := ml.NewDataset(eventNames(events))
+	for i, row := range rows {
+		if err := ds.Add(row, 0); err != nil {
+			return nil, fmt.Errorf("core: relearn row %d: %w", i, err)
+		}
+	}
+	std, err := ml.FitStandardizer(ds)
+	if err != nil {
+		return nil, err
+	}
+	dsZ := std.TransformDataset(ds)
+	clusters, err := ml.KMeansAuto(dsZ.X, cfg.MinK, cfg.MaxK, ml.KMeansConfig{Rng: cfg.Rng, Workers: cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("core: re-clustering: %w", err)
+	}
+	for i := range dsZ.Y {
+		dsZ.Y[i] = clusters.Assignments[i]
+	}
+
+	radii := make([]float64, clusters.K)
+	for i, row := range dsZ.X {
+		c := clusters.Assignments[i]
+		if d := ml.EuclideanDistance(row, clusters.Centroids[c]); d > radii[c] {
+			radii[c] = d
+		}
+	}
+	for c := range radii {
+		radii[c] *= cfg.NoveltyTolerance
+		if radii[c] < cfg.MinNoveltyRadius {
+			radii[c] = cfg.MinNoveltyRadius
+		}
+	}
+
+	clf, err := trainFunc(cfg.Classifier)(dsZ)
+	if err != nil {
+		return nil, fmt.Errorf("core: training classifier: %w", err)
+	}
+	return NewRepository(events, std, clf, clusters.Centroids, radii, cfg.CertaintyThreshold)
+}

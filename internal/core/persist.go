@@ -66,6 +66,16 @@ func (r *Repository) Save(w io.Writer) error {
 	return enc.Encode(&st)
 }
 
+// SaveRepository is the function twin of (*Repository).Save, mirroring
+// LoadRepository: it serializes the repository's signature space,
+// classifier, novelty model, and cached allocations as JSON.
+func SaveRepository(r *Repository, w io.Writer) error {
+	if r == nil {
+		return errors.New("core: nil repository")
+	}
+	return r.Save(w)
+}
+
 // LoadRepository restores a repository previously written by Save.
 func LoadRepository(rd io.Reader) (*Repository, error) {
 	var st repositoryState

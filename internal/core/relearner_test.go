@@ -107,7 +107,7 @@ func TestRelearnerRecoversFromDrift(t *testing.T) {
 	day2 := res.Records[24*60:]
 	sum := 0.0
 	for _, rec := range day2 {
-		sum += float64(rec.Allocation.Count)
+		sum += float64(rec.Alloc.Count)
 	}
 	mean := sum / float64(len(day2))
 	if mean > 9 {

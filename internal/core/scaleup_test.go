@@ -70,10 +70,10 @@ func TestScaleUpControllerSwitchesTypes(t *testing.T) {
 	// Count must never change (vertical scaling only).
 	sawLarge, sawXLarge := false, false
 	for _, rec := range res.Records {
-		if rec.Allocation.Count != svc.Instances {
-			t.Fatalf("instance count changed to %d", rec.Allocation.Count)
+		if int(rec.Alloc.Count) != svc.Instances {
+			t.Fatalf("instance count changed to %d", rec.Alloc.Count)
 		}
-		switch rec.Allocation.Type.Name {
+		switch rec.Alloc.Type.Instance().Name {
 		case cloud.Large.Name:
 			sawLarge = true
 		case cloud.XLarge.Name:

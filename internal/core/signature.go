@@ -63,10 +63,15 @@ type Profiler struct {
 	// goroutine, so the scratch needs no locking: src avoids boxing a
 	// fresh source per sample, and queryMon caches the monitor built
 	// for the last explicit event set (keyed by slice identity —
-	// callers pass the same signature tuple every round).
-	src      services.ProfileSource
-	queryMon *metrics.Monitor
-	queryEvs []metrics.Event
+	// callers pass the same signature tuple every round). catalogEvs
+	// remembers an explicitly-passed event slice recognized as the
+	// full catalog, for which the profiler's own Monitor is reused
+	// instead of a duplicate (the learning phase passes
+	// metrics.AllEvents() on every trial of every workload).
+	src        services.ProfileSource
+	queryMon   *metrics.Monitor
+	queryEvs   []metrics.Event
+	catalogEvs []metrics.Event
 }
 
 // DefaultSignatureWindow is the paper's ~10 s signature collection
@@ -140,10 +145,23 @@ func (p *Profiler) ProfileInto(w services.Workload, events []metrics.Event, wind
 	// would multiplex and blur it.
 	mon := p.Monitor
 	evs := events
-	if evs == nil {
+	switch {
+	case evs == nil:
 		evs = p.Monitor.Events
-	} else {
+	case sameEvents(evs, p.catalogEvs):
+		// Previously recognized full-catalog slice: p.Monitor already
+		// monitors exactly these events; nothing to build or mirror.
+	default:
 		if !sameEvents(evs, p.queryEvs) {
+			if eventsEqual(evs, p.Monitor.Events) {
+				// The caller passed the full catalog explicitly (the
+				// learning phase does, for every trial): reuse the
+				// profiler's own monitor — and its already-resolved
+				// event index tables — instead of constructing a
+				// duplicate per learning round.
+				p.catalogEvs = evs
+				break
+			}
 			m, err := metrics.NewMonitor(evs, p.rng)
 			if err != nil {
 				return err
@@ -176,19 +194,42 @@ func sameEvents(a, b []metrics.Event) bool {
 	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }
 
+// eventsEqual compares two event slices by content.
+func eventsEqual(a, b []metrics.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ProfileN collects n signatures over the given window (the paper
-// runs "5 trials for each volume" when validating signatures).
+// runs "5 trials for each volume" when validating signatures). All n
+// signatures share one detached copy of the event tuple (they are
+// read-only views of the same metric set), and the trials reuse the
+// profiler's cached monitor, so the learning phase no longer copies
+// the 60-event catalog once per trial of every workload. The noise
+// stream is identical to n individual ProfileWindow calls.
 func (p *Profiler) ProfileN(w services.Workload, events []metrics.Event, n int, window time.Duration) ([]*Signature, error) {
 	if n <= 0 {
 		return nil, errors.New("core: n must be positive")
 	}
 	out := make([]*Signature, 0, n)
+	var shared []metrics.Event
 	for i := 0; i < n; i++ {
-		s, err := p.ProfileWindow(w, events, window)
-		if err != nil {
+		var sig Signature
+		if err := p.ProfileInto(w, events, window, &sig); err != nil {
 			return nil, err
 		}
-		out = append(out, s)
+		if shared == nil {
+			shared = append([]metrics.Event(nil), sig.Events...)
+		}
+		sig.Events = shared
+		out = append(out, &sig)
 	}
 	return out, nil
 }

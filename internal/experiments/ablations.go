@@ -184,7 +184,7 @@ func Ablations(opts Options) (*AblationsResult, error) {
 		}
 		fullCap := 0
 		for _, rec := range res.Records {
-			if rec.Allocation.Count == svc.MaxInstances {
+			if int(rec.Alloc.Count) == svc.MaxInstances {
 				fullCap++
 			}
 		}
@@ -193,7 +193,7 @@ func Ablations(opts Options) (*AblationsResult, error) {
 		surgeStart := (2*24 + 20) * 60
 		surgeCaught := false
 		for i := surgeStart + 2; i < surgeStart+60 && i < len(res.Records); i++ {
-			if res.Records[i].Allocation.Count == svc.MaxInstances {
+			if int(res.Records[i].Alloc.Count) == svc.MaxInstances {
 				surgeCaught = true
 				break
 			}

@@ -109,7 +109,7 @@ func Drift(opts Options) (*DriftResult, error) {
 		day2 := res.Records[24*60:]
 		sum, bad := 0.0, 0
 		for _, rec := range day2 {
-			sum += float64(rec.Allocation.Count)
+			sum += float64(rec.Alloc.Count)
 			if rec.SLOViolated {
 				bad++
 			}

@@ -71,7 +71,7 @@ func Figure1(opts Options) (*Figure1Result, error) {
 		out.Clients = append(out.Clients, rec.Clients)
 		out.LatencyMs = append(out.LatencyMs, rec.LatencyMs)
 		needed := services.RequiredCapacity(svc, services.Workload{Clients: rec.Clients, Mix: svc.DefaultMix()})
-		if rec.Allocation.Capacity() >= needed+2 {
+		if rec.Alloc.Capacity() >= needed+2 {
 			over++
 		}
 	}

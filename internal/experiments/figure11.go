@@ -75,7 +75,7 @@ func Figure11(opts Options) (*Figure11Result, error) {
 		var lat, inst, interf []float64
 		for _, rec := range res.Records {
 			lat = append(lat, rec.LatencyMs)
-			inst = append(inst, float64(rec.Allocation.Count))
+			inst = append(inst, float64(rec.Alloc.Count))
 			interf = append(interf, rec.Interference*100)
 		}
 		if detect {

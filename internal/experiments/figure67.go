@@ -115,11 +115,11 @@ func ScaleOut(traceName string, opts Options) (*ScaleOutResult, error) {
 	var loads, instD, instA, latD []float64
 	for _, rec := range dejavu.Records {
 		loads = append(loads, rec.Clients)
-		instD = append(instD, float64(rec.Allocation.Count))
+		instD = append(instD, float64(rec.Alloc.Count))
 		latD = append(latD, rec.LatencyMs)
 	}
 	for _, rec := range autopilot.Records {
-		instA = append(instA, float64(rec.Allocation.Count))
+		instA = append(instA, float64(rec.Alloc.Count))
 	}
 	out.HourlyLoad = hourly(loads, 60)
 	out.HourlyInstancesDejaVu = hourly(instD, 60)

@@ -105,7 +105,7 @@ func ScaleUp(traceName string, opts Options) (*ScaleUpResult, error) {
 	var xl, qos []float64
 	for _, rec := range res.Records {
 		v := 0.0
-		if rec.Allocation.Type.Name == cloud.XLarge.Name {
+		if rec.Alloc.Type == cloud.XLargeID {
 			v = 1.0
 		}
 		xl = append(xl, v)

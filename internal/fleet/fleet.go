@@ -19,37 +19,15 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/rng"
 	"repro/internal/services"
 	"repro/internal/sim"
 )
 
-// splitmixSource is a tiny rand.Source64 (splitmix64): seeding is one
-// integer write instead of the standard source's 607-word expansion,
-// which at 27µs per VM used to be a double-digit share of the fleet's
-// run phase. VM streams only need to be deterministic and well mixed,
-// not identical to math/rand's — the paper-figure experiments keep the
-// standard source so their fixed-seed outputs are unchanged.
-type splitmixSource struct{ state uint64 }
-
-func (s *splitmixSource) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-func (s *splitmixSource) Int63() int64    { return int64(s.Uint64() >> 1) }
-func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
-
-// newRng builds a VM- or group-private rand source; sharing one across
+// newRng builds a VM- or group-private splitmix64 rand source (seeding
+// is one integer write, see internal/rng); sharing one across
 // goroutines would race.
-func newRng(seed int64) *rand.Rand {
-	if seed == 0 {
-		seed = 1
-	}
-	return rand.New(&splitmixSource{state: uint64(seed)})
-}
+func newRng(seed int64) *rand.Rand { return rng.New(seed) }
 
 // Config drives one fleet run.
 type Config struct {

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchSetup builds a server plus a warmed scratch and request body
+// for the decision path.
+func benchSetup(b *testing.B, batch int) (*Server, *scratch, []byte) {
+	repo := testRepository(b, 12)
+	h, err := core.NewHandle(repo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{Handle: h})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := foreseenSignature(b, repo, 13, 300)
+	rows := make([]string, batch)
+	for i := range rows {
+		rows[i] = sigJSON(vals)
+	}
+	body := []byte(`{"bucket":0,"signatures":[` + strings.Join(rows, ",") + `]}`)
+	sc := s.pool.Get().(*scratch)
+	sc.body = append(sc.body[:0], body...)
+	return s, sc, body
+}
+
+// TestDecideZeroAlloc pins the ISSUE acceptance criterion: the
+// steady-state batched decision path (parse → classify/lookup →
+// encode) performs zero heap allocations per request.
+func TestDecideZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector degrades sync.Pool caching and distorts allocation counts; the CI bench job runs this gate without -race")
+	}
+	repo := testRepository(t, 12)
+	h, err := core.NewHandle(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Handle: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := foreseenSignature(t, repo, 13, 300)
+	body := []byte(`{"bucket":0,"signatures":[` + sigJSON(vals) + `,` + sigJSON(vals) + `,` + sigJSON(vals) + `,` + sigJSON(vals) + `]}`)
+	sc := s.pool.Get().(*scratch)
+	sc.body = append(sc.body[:0], body...)
+	cur := s.handle.Current()
+
+	for _, mode := range []struct {
+		name   string
+		lookup bool
+	}{{"lookup", true}, {"classify", false}} {
+		// Warm the scratch buffers, then measure.
+		if _, err := s.decide(cur, sc, mode.lookup); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := s.decide(cur, sc, mode.lookup); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s decision path allocates %.1f times per batch, want 0", mode.name, allocs)
+		}
+	}
+}
+
+// BenchmarkDecide measures the raw decision path (no HTTP): one op is
+// one batched request. allocs/op must stay 0 — the serve bench gate
+// records it in BENCH_serve.json.
+func BenchmarkDecide(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		batch  int
+		lookup bool
+	}{
+		{"lookup/batch1", 1, true},
+		{"lookup/batch16", 16, true},
+		{"lookup/batch64", 64, true},
+		{"classify/batch16", 16, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s, sc, _ := benchSetup(b, tc.batch)
+			cur := s.handle.Current()
+			if _, err := s.decide(cur, sc, tc.lookup); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.decide(cur, sc, tc.lookup); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tc.batch)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
+}
+
+// BenchmarkServeHTTP measures the full HTTP round trip through the
+// handler (httptest's in-process transport): net/http itself
+// allocates per request, so this is a throughput reference, not an
+// allocation gate.
+func BenchmarkServeHTTP(b *testing.B) {
+	repo := testRepository(b, 12)
+	_, ts := newTestServer(b, repo, Config{})
+	vals := foreseenSignature(b, repo, 13, 300)
+	rows := make([]string, 16)
+	for i := range rows {
+		rows[i] = sigJSON(vals)
+	}
+	body := `{"bucket":0,"signatures":[` + strings.Join(rows, ",") + `]}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, resp := post(b, ts.URL+"/v1/lookup", body)
+		if code != 200 {
+			b.Fatalf("%d %s", code, resp)
+		}
+	}
+	b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}

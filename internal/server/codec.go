@@ -1,0 +1,424 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Zero-allocation request codec. The decision endpoints parse a tiny,
+// fixed JSON vocabulary — {"signature":[...]} / {"signatures":[[...]]}
+// plus an optional "bucket" — into caller-owned scratch buffers.
+// encoding/json is deliberately avoided on this path: it allocates per
+// token, and the whole point of the decision service is that a
+// steady-state classify/lookup performs no heap allocation end to end
+// (control endpoints like /v1/put use encoding/json; they are off the
+// hot path). Numbers are parsed with an explicit mantissa/exponent
+// scan: exact (single-rounding) for values with up to 15 significant
+// digits and decimal exponents within ±22 — the profiler-normalized
+// rate range — and within a few ulps of the correctly rounded
+// result beyond that (TestNumberRoundTrip pins both bounds). Decisions
+// compare standardized distances against learned thresholds, so
+// ulp-level parse differences cannot flip them, and determinism holds
+// regardless: equal request bytes always parse to equal values.
+
+// decisionRequest is the parsed form of a decision request, backed
+// entirely by reusable scratch storage: row i of the batch is
+// vals[ends[i-1]:ends[i]] (ends[-1] meaning 0).
+type decisionRequest struct {
+	vals   []float64
+	ends   []int
+	bucket int
+	// single records that the request used the "signature" key (a
+	// batch of one). It exists for the empty-request validation and
+	// for tests; the reply envelope is always the batched
+	// {"version":...,"results":[...]} shape regardless.
+	single bool
+}
+
+// row returns the i-th signature of the batch.
+func (d *decisionRequest) row(i int) []float64 {
+	start := 0
+	if i > 0 {
+		start = d.ends[i-1]
+	}
+	return d.vals[start:d.ends[i]]
+}
+
+// rows returns the batch size.
+func (d *decisionRequest) rows() int { return len(d.ends) }
+
+// reset clears the request for reuse, keeping capacity.
+func (d *decisionRequest) reset() {
+	d.vals = d.vals[:0]
+	d.ends = d.ends[:0]
+	d.bucket = 0
+	d.single = false
+}
+
+// scanner is a minimal JSON reader over one request body.
+type scanner struct {
+	b []byte
+	i int
+}
+
+var errTruncated = errors.New("server: truncated request body")
+
+func (s *scanner) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\r', '\n':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) expect(c byte) error {
+	s.ws()
+	if s.i >= len(s.b) {
+		return errTruncated
+	}
+	if s.b[s.i] != c {
+		return fmt.Errorf("server: expected %q at offset %d, found %q", c, s.i, s.b[s.i])
+	}
+	s.i++
+	return nil
+}
+
+// peek returns the next non-space byte without consuming it.
+func (s *scanner) peek() (byte, error) {
+	s.ws()
+	if s.i >= len(s.b) {
+		return 0, errTruncated
+	}
+	return s.b[s.i], nil
+}
+
+// key reads a JSON string, returning the raw bytes between the quotes.
+// Keys in the decision vocabulary carry no escapes; escaped sequences
+// are kept verbatim (they simply won't match any known key).
+func (s *scanner) key() ([]byte, error) {
+	if err := s.expect('"'); err != nil {
+		return nil, err
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '\\':
+			s.i += 2
+		case '"':
+			k := s.b[start:s.i]
+			s.i++
+			return k, nil
+		default:
+			s.i++
+		}
+	}
+	return nil, errTruncated
+}
+
+// number parses a JSON number. The mantissa accumulates in a uint64
+// (19 significant digits — beyond what AppendFloat emits); further
+// digits only shift the exponent.
+func (s *scanner) number() (float64, error) {
+	s.ws()
+	neg := false
+	if s.i < len(s.b) && s.b[s.i] == '-' {
+		neg = true
+		s.i++
+	}
+	var mant uint64
+	exp := 0
+	seen := false
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		seen = true
+		if mant <= (math.MaxUint64-9)/10 {
+			mant = mant*10 + uint64(c-'0')
+		} else {
+			exp++
+		}
+		s.i++
+	}
+	if s.i < len(s.b) && s.b[s.i] == '.' {
+		s.i++
+		for s.i < len(s.b) {
+			c := s.b[s.i]
+			if c < '0' || c > '9' {
+				break
+			}
+			seen = true
+			if mant <= (math.MaxUint64-9)/10 {
+				mant = mant*10 + uint64(c-'0')
+				exp--
+			}
+			s.i++
+		}
+	}
+	if !seen {
+		return 0, fmt.Errorf("server: malformed number at offset %d", s.i)
+	}
+	if s.i < len(s.b) && (s.b[s.i] == 'e' || s.b[s.i] == 'E') {
+		s.i++
+		eneg := false
+		switch {
+		case s.i < len(s.b) && s.b[s.i] == '-':
+			eneg = true
+			s.i++
+		case s.i < len(s.b) && s.b[s.i] == '+':
+			s.i++
+		}
+		e := 0
+		eseen := false
+		for s.i < len(s.b) {
+			c := s.b[s.i]
+			if c < '0' || c > '9' {
+				break
+			}
+			eseen = true
+			if e < 1<<20 {
+				e = e*10 + int(c-'0')
+			}
+			s.i++
+		}
+		if !eseen {
+			return 0, fmt.Errorf("server: malformed exponent at offset %d", s.i)
+		}
+		if eneg {
+			e = -e
+		}
+		exp += e
+	}
+	f := float64(mant)
+	switch {
+	case exp > 0:
+		for exp > 308 { // overflow folds to +Inf
+			f *= 1e308
+			exp -= 308
+		}
+		f *= pow10(exp)
+	case exp < 0:
+		e := -exp
+		for e > 308 { // underflow degrades through subnormals to 0
+			f /= 1e308
+			e -= 308
+		}
+		f /= pow10(e)
+	}
+	if neg {
+		f = -f
+	}
+	return f, nil
+}
+
+// pow10 returns 10^e for 0 <= e <= 308 without allocating.
+func pow10(e int) float64 {
+	f := 1.0
+	p := 10.0
+	for e > 0 {
+		if e&1 == 1 {
+			f *= p
+		}
+		p *= p
+		e >>= 1
+	}
+	return f
+}
+
+// numberRow parses a JSON array of numbers, appending to dst.
+func (s *scanner) numberRow(dst []float64) ([]float64, error) {
+	if err := s.expect('['); err != nil {
+		return dst, err
+	}
+	c, err := s.peek()
+	if err != nil {
+		return dst, err
+	}
+	if c == ']' {
+		s.i++
+		return dst, nil
+	}
+	for {
+		v, err := s.number()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+		c, err := s.peek()
+		if err != nil {
+			return dst, err
+		}
+		s.i++
+		switch c {
+		case ',':
+		case ']':
+			return dst, nil
+		default:
+			return dst, fmt.Errorf("server: expected ',' or ']' at offset %d", s.i-1)
+		}
+	}
+}
+
+// skipValue consumes one JSON value of any shape (for unknown keys).
+func (s *scanner) skipValue() error {
+	c, err := s.peek()
+	if err != nil {
+		return err
+	}
+	switch c {
+	case '"':
+		_, err := s.key()
+		return err
+	case '{', '[':
+		open, close := byte('{'), byte('}')
+		if c == '[' {
+			open, close = '[', ']'
+		}
+		depth := 0
+		for s.i < len(s.b) {
+			switch s.b[s.i] {
+			case '"':
+				if _, err := s.key(); err != nil {
+					return err
+				}
+				continue
+			case open:
+				depth++
+			case close:
+				depth--
+				if depth == 0 {
+					s.i++
+					return nil
+				}
+			}
+			s.i++
+		}
+		return errTruncated
+	case 't':
+		return s.literal("true")
+	case 'f':
+		return s.literal("false")
+	case 'n':
+		return s.literal("null")
+	default:
+		_, err := s.number()
+		return err
+	}
+}
+
+// literal consumes an exact keyword, byte-verified — a blind index
+// advance would let malformed bodies like {"x":truu} realign on the
+// following comma and parse as valid.
+func (s *scanner) literal(want string) error {
+	if len(s.b)-s.i < len(want) {
+		return errTruncated
+	}
+	if string(s.b[s.i:s.i+len(want)]) != want {
+		return fmt.Errorf("server: malformed literal at offset %d", s.i)
+	}
+	s.i += len(want)
+	return nil
+}
+
+// parseDecisionRequest fills req from a decision request body. req's
+// buffers are reused; no allocation happens once they have warmed up
+// to the workload's batch size.
+func parseDecisionRequest(body []byte, req *decisionRequest) error {
+	req.reset()
+	s := scanner{b: body}
+	if err := s.expect('{'); err != nil {
+		return err
+	}
+	if c, err := s.peek(); err != nil {
+		return err
+	} else if c == '}' {
+		return errors.New("server: request names no signature")
+	}
+	sawBatch := false
+	for {
+		k, err := s.key()
+		if err != nil {
+			return err
+		}
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		switch string(k) { // compile-time optimized: no []byte->string alloc in a switch
+		case "signature":
+			if req.single || sawBatch {
+				return errors.New(`server: "signature" and "signatures" are mutually exclusive and single-use`)
+			}
+			req.single = true
+			if req.vals, err = s.numberRow(req.vals[:0]); err != nil {
+				return err
+			}
+			req.ends = append(req.ends, len(req.vals))
+		case "signatures":
+			if req.single || sawBatch {
+				return errors.New(`server: "signature" and "signatures" are mutually exclusive and single-use`)
+			}
+			sawBatch = true
+			if err := s.expect('['); err != nil {
+				return err
+			}
+			c, err := s.peek()
+			if err != nil {
+				return err
+			}
+			if c == ']' {
+				s.i++
+				break
+			}
+			for {
+				if req.vals, err = s.numberRow(req.vals); err != nil {
+					return err
+				}
+				req.ends = append(req.ends, len(req.vals))
+				c, err := s.peek()
+				if err != nil {
+					return err
+				}
+				s.i++
+				if c == ']' {
+					break
+				}
+				if c != ',' {
+					return fmt.Errorf("server: expected ',' or ']' at offset %d", s.i-1)
+				}
+			}
+		case "bucket":
+			v, err := s.number()
+			if err != nil {
+				return err
+			}
+			if v != math.Trunc(v) || v < 0 || v > 1<<20 {
+				return fmt.Errorf("server: bucket %v is not a small non-negative integer", v)
+			}
+			req.bucket = int(v)
+		default:
+			if err := s.skipValue(); err != nil {
+				return err
+			}
+		}
+		c, err := s.peek()
+		if err != nil {
+			return err
+		}
+		s.i++
+		if c == '}' {
+			break
+		}
+		if c != ',' {
+			return fmt.Errorf("server: expected ',' or '}' at offset %d", s.i-1)
+		}
+	}
+	if req.rows() == 0 {
+		return errors.New("server: request contains no signatures")
+	}
+	return nil
+}

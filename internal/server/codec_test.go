@@ -1,0 +1,195 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func parseOK(t *testing.T, body string) *decisionRequest {
+	t.Helper()
+	var req decisionRequest
+	if err := parseDecisionRequest([]byte(body), &req); err != nil {
+		t.Fatalf("parse %q: %v", body, err)
+	}
+	return &req
+}
+
+func TestParseSingle(t *testing.T) {
+	req := parseOK(t, `{"signature":[1.5, -2, 3e2]}`)
+	if !req.single || req.rows() != 1 || req.bucket != 0 {
+		t.Fatalf("parsed: %+v", req)
+	}
+	row := req.row(0)
+	if len(row) != 3 || row[0] != 1.5 || row[1] != -2 || row[2] != 300 {
+		t.Fatalf("row: %v", row)
+	}
+}
+
+func TestParseBatchWithBucket(t *testing.T) {
+	req := parseOK(t, `{"bucket": 3, "signatures": [[1,2],[3,4],[5,6]]}`)
+	if req.single || req.rows() != 3 || req.bucket != 3 {
+		t.Fatalf("parsed: %+v", req)
+	}
+	if r := req.row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("row 1: %v", r)
+	}
+	if r := req.row(2); r[0] != 5 || r[1] != 6 {
+		t.Fatalf("row 2: %v", r)
+	}
+}
+
+func TestParseUnknownKeysSkipped(t *testing.T) {
+	req := parseOK(t, `{"client":"vm-007","nested":{"a":[1,{"b":"}"}]},"flag":true,"none":null,"signature":[7],"extra":-1.5e-2}`)
+	if req.rows() != 1 || req.row(0)[0] != 7 {
+		t.Fatalf("parsed: %+v", req)
+	}
+}
+
+func TestParseReuseResets(t *testing.T) {
+	var req decisionRequest
+	if err := parseDecisionRequest([]byte(`{"signatures":[[1,2],[3,4]],"bucket":2}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseDecisionRequest([]byte(`{"signature":[9]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.rows() != 1 || req.row(0)[0] != 9 || req.bucket != 0 {
+		t.Fatalf("stale state after reuse: %+v", req)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`[]`,
+		`{}`,
+		`{"signature":}`,
+		`{"signature":[1,]}`,
+		`{"signature":[1`,
+		`{"signature":[1],"signatures":[[2]]}`,
+		`{"signatures":[],"signature":[1]}`, // empty batch must not defeat the exclusivity guard
+		`{"signature":[1],"signature":[2]}`,
+		`{"signatures":[]}`,
+		`{"signatures":[[1],[2]`,
+		`{"bucket":-1,"signature":[1]}`,
+		`{"bucket":1.5,"signature":[1]}`,
+		`{"bucket":"zero","signature":[1]}`,
+		`{"signature":[1e]}`,
+		`{"signature":[--1]}`,
+		`{"signature" [1]}`,
+		`{"x":truu,"signature":[1]}`, // malformed literal must not realign on the comma
+		`{"x":t,"signature":[1]}`,
+		`{"x":nul,"signature":[1]}`,
+	}
+	var req decisionRequest
+	for _, b := range bad {
+		if err := parseDecisionRequest([]byte(b), &req); err == nil {
+			t.Errorf("parse %q: expected error", b)
+		}
+	}
+}
+
+// TestNumberRoundTrip pins the parser's accuracy contract (see the
+// codec.go package comment): exact single-rounding parses for ≤15
+// significant digits in the profiler-normalized rate range, ≤1 ulp
+// for shortest-form (up to 17 digit) encodings of moderate-magnitude
+// floats, ≤8 ulp across the non-extreme float64 exponent range, and full
+// determinism (equal bytes, equal values).
+func TestNumberRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// 15-significant-digit texts in the rate range: mantissa < 2^53
+	// and |decimal exponent| ≤ 22, so one rounding — exact.
+	for i := 0; i < 5000; i++ {
+		exp := rng.Intn(13) - 6 // 1e-6 .. 1e6: profiler-normalized rates
+		v := (0.1 + 0.9*rng.Float64()) * math.Pow10(exp)
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		text := strconv.AppendFloat(nil, v, 'g', 15, 64)
+		want, err := strconv.ParseFloat(string(text), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := scanner{b: text}
+		got, err := s.number()
+		if err != nil {
+			t.Fatalf("parse %s: %v", text, err)
+		}
+		if got != want {
+			t.Fatalf("15-digit parse %s: got %v, want %v", text, got, want)
+		}
+	}
+	// Shortest-form encodings (what AppendFloat 'g' -1 emits): a
+	// 16-17 digit mantissa exceeds 2^53, costing one extra rounding.
+	for i := 0; i < 5000; i++ {
+		exp := rng.Intn(13) - 6
+		want := rng.Float64() * math.Pow10(exp)
+		text := strconv.AppendFloat(nil, want, 'g', -1, 64)
+		s := scanner{b: text}
+		got, err := s.number()
+		if err != nil {
+			t.Fatalf("parse %s: %v", text, err)
+		}
+		if diff := ulpDiff(got, want); diff > 1 {
+			t.Fatalf("shortest-form parse %s: got %v, want %v (%d ulp apart)", text, got, want, diff)
+		}
+		s2 := scanner{b: text}
+		again, _ := s2.number()
+		if again != got {
+			t.Fatalf("parse %s is not deterministic", text)
+		}
+	}
+	// Arbitrary float64s: the computed power of ten accumulates a few
+	// more roundings at extreme exponents.
+	for i := 0; i < 5000; i++ {
+		want := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(want) || math.IsInf(want, 0) {
+			continue
+		}
+		if m := math.Abs(want); m < 1e-290 || m > 1e290 {
+			// Near-subnormal and near-overflow magnitudes degrade
+			// gracefully but outside the ulp bound; signature rates
+			// live many orders of magnitude away from either edge.
+			continue
+		}
+		text := strconv.AppendFloat(nil, want, 'g', -1, 64)
+		s := scanner{b: text}
+		got, err := s.number()
+		if err != nil {
+			t.Fatalf("parse %s: %v", text, err)
+		}
+		if diff := ulpDiff(got, want); diff > 8 {
+			t.Fatalf("parse %s: got %v, want %v (%d ulp apart)", text, got, want, diff)
+		}
+	}
+}
+
+func ulpDiff(a, b float64) uint64 {
+	ua, ub := math.Float64bits(math.Abs(a)), math.Float64bits(math.Abs(b))
+	if (a < 0) != (b < 0) && a != b {
+		return math.MaxUint64
+	}
+	if ua > ub {
+		return ua - ub
+	}
+	return ub - ua
+}
+
+func TestParseIntegersAndExponents(t *testing.T) {
+	cases := map[string]float64{
+		`{"signature":[0]}`:                        0,
+		`{"signature":[-0.5]}`:                     -0.5,
+		`{"signature":[1E+3]}`:                     1000,
+		`{"signature":[2.5e-1]}`:                   0.25,
+		`{"signature":[123456789012345678901234]}`: 123456789012345678901234,
+	}
+	for body, want := range cases {
+		req := parseOK(t, body)
+		got := req.row(0)[0]
+		if got != want && math.Abs(got-want) > math.Abs(want)*1e-14 {
+			t.Errorf("%s: got %v, want %v", body, got, want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DriftConfig tunes the online drift monitor.
+type DriftConfig struct {
+	// Window is the number of decisions per observation window
+	// (default 512).
+	Window int
+	// Threshold is the unforeseen-signature fraction at which a
+	// window triggers re-learning (default 0.5 — half the window's
+	// workloads look unlike every learned class).
+	Threshold float64
+	// RecentCapacity bounds the recent-signature ring the relearn
+	// corpus is drawn from (default 2048 rows).
+	RecentCapacity int
+	// SampleStride records every stride-th foreseen signature into
+	// the ring (unforeseen ones are always recorded); default 16.
+	// The relearn corpus therefore mixes the novel workloads that
+	// caused the drift with a sample of the still-live old ones, so
+	// the rebuilt clustering covers both.
+	SampleStride int
+	// MinRelearnRows is the smallest ring population worth
+	// re-clustering (default 64).
+	MinRelearnRows int
+}
+
+func (c *DriftConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.RecentCapacity <= 0 {
+		c.RecentCapacity = 2048
+	}
+	if c.SampleStride <= 0 {
+		c.SampleStride = 16
+	}
+	if c.MinRelearnRows <= 0 {
+		c.MinRelearnRows = 64
+	}
+}
+
+// driftMonitor tracks the unforeseen-signature rate per fixed-size
+// decision window, lock-free. Counting is atomics-only on the
+// decision path; window accounting is approximate under concurrency
+// (a straggler's unforeseen flag may land in the neighbouring window)
+// which is fine — the trigger is a rate threshold, not an audit.
+type driftMonitor struct {
+	window    int64
+	threshold float64
+
+	decisions  atomic.Int64 // cumulative; window boundary every `window`
+	unforeseen atomic.Int64 // current window
+	windows    atomic.Int64
+	triggers   atomic.Int64
+	lastRate   atomic.Uint64 // math.Float64bits of the last closed window's rate
+}
+
+func newDriftMonitor(cfg DriftConfig) *driftMonitor {
+	return &driftMonitor{window: int64(cfg.Window), threshold: cfg.Threshold}
+}
+
+// observe counts one decision and reports whether it closed a window
+// whose unforeseen rate crossed the threshold.
+func (d *driftMonitor) observe(unforeseen bool) bool {
+	if unforeseen {
+		d.unforeseen.Add(1)
+	}
+	if d.decisions.Add(1)%d.window != 0 {
+		return false
+	}
+	rate := float64(d.unforeseen.Swap(0)) / float64(d.window)
+	d.lastRate.Store(math.Float64bits(rate))
+	d.windows.Add(1)
+	if rate >= d.threshold {
+		d.triggers.Add(1)
+		return true
+	}
+	return false
+}
+
+// LastWindowRate returns the unforeseen rate of the last closed
+// window.
+func (d *driftMonitor) LastWindowRate() float64 {
+	return math.Float64frombits(d.lastRate.Load())
+}
+
+// signatureRing keeps the most recent observed signatures as the
+// re-learning corpus: every unforeseen signature plus every stride-th
+// foreseen one. Rows are preallocated at fixed width, so recording is
+// a short mutex-guarded copy — no allocation on the decision path.
+type signatureRing struct {
+	mu      sync.Mutex
+	rows    [][]float64
+	filled  int
+	next    int
+	stride  int64
+	counter atomic.Int64
+}
+
+func newSignatureRing(capacity, width, stride int) *signatureRing {
+	r := &signatureRing{rows: make([][]float64, capacity), stride: int64(stride)}
+	backing := make([]float64, capacity*width)
+	for i := range r.rows {
+		r.rows[i] = backing[i*width : (i+1)*width]
+	}
+	return r
+}
+
+// observe records the signature when it is unforeseen or lands on the
+// sampling stride.
+func (r *signatureRing) observe(vals []float64, unforeseen bool) {
+	if !unforeseen && r.counter.Add(1)%r.stride != 0 {
+		return
+	}
+	r.mu.Lock()
+	if len(vals) == len(r.rows[r.next]) {
+		copy(r.rows[r.next], vals)
+		r.next = (r.next + 1) % len(r.rows)
+		if r.filled < len(r.rows) {
+			r.filled++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Len returns how many rows are recorded.
+func (r *signatureRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.filled
+}
+
+// snapshot copies the recorded rows out (oldest-first order is not
+// guaranteed and does not matter to clustering).
+func (r *signatureRing) snapshot() [][]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]float64, r.filled)
+	for i := 0; i < r.filled; i++ {
+		out[i] = append([]float64(nil), r.rows[i]...)
+	}
+	return out
+}

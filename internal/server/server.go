@@ -1,0 +1,508 @@
+// Package server is dejavud's decision service: the network-facing
+// layer that owns a learned signature repository behind a versioned
+// atomic handle, serves classify/lookup decisions over HTTP/JSON at
+// interactive-traffic timescales, and relearns in the background when
+// the online drift monitor sees too many unforeseen signatures.
+//
+// Design constraints, in order:
+//
+//   - The steady-state decision path (decode → classify/lookup →
+//     encode) performs zero heap allocations: pooled request scratch,
+//     a hand-rolled JSON codec for the tiny decision vocabulary, and
+//     the repository's own pooled classify scratch (PR 2).
+//   - Readers never block on learning. The repository lives behind a
+//     core.Handle; a drift-triggered relearn builds the replacement
+//     completely off the request path (clustering fans out on the
+//     shared internal/parallel pool) and publishes it with one atomic
+//     pointer store. In-flight requests finish on the snapshot they
+//     started with.
+//   - The repository outlives the process: load-on-start plus
+//     snapshot-on-shutdown (and POST /v1/snapshot any time) via
+//     core.SaveRepository/LoadRepository.
+//
+// Endpoints: POST /v1/classify, POST /v1/lookup (single "signature"
+// or batched "signatures"), POST /v1/put, GET /v1/stats, GET /metrics
+// (Prometheus text format), POST /v1/snapshot.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// RelearnFunc rebuilds a repository from recently observed signature
+// rows. It runs on a background goroutine, at most one at a time.
+type RelearnFunc func(events []metrics.Event, rows [][]float64) (*core.Repository, error)
+
+// Config assembles a Server.
+type Config struct {
+	// Handle owns the versioned repository; required.
+	Handle *core.Handle
+	// Drift tunes the online drift monitor.
+	Drift DriftConfig
+	// Relearn, when set, is invoked (single-flight) whenever a drift
+	// window crosses the threshold; the returned repository is
+	// swapped in. Nil disables online re-learning.
+	Relearn RelearnFunc
+	// SnapshotPath is where /v1/snapshot and Snapshot() persist the
+	// repository; empty disables snapshots.
+	SnapshotPath string
+	// MaxBodyBytes bounds a decision request body (default 8 MiB).
+	MaxBodyBytes int64
+	// Logf receives operational log lines; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// scratch is the pooled per-request state of the decision path.
+type scratch struct {
+	body []byte
+	req  decisionRequest
+	resp []byte
+	sig  core.Signature
+}
+
+// Server implements the decision service over a swap-safe repository
+// handle. Create with New, expose via Handler.
+type Server struct {
+	cfg    Config
+	handle *core.Handle
+	drift  *driftMonitor
+	ring   *signatureRing
+	flight parallel.SingleFlight
+	pool   sync.Pool
+	mux    *http.ServeMux
+	start  time.Time
+
+	classifyReqs atomic.Int64
+	lookupReqs   atomic.Int64
+	putReqs      atomic.Int64
+	badRequests  atomic.Int64
+	relearns     atomic.Int64
+	relearnFails atomic.Int64
+	snapshots    atomic.Int64
+	snapshotMu   sync.Mutex
+}
+
+// New validates the configuration and assembles the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.Handle == nil {
+		return nil, errors.New("server: Config.Handle must be set")
+	}
+	cfg.Drift.defaults()
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	width := len(cfg.Handle.Current().Repo.EventsRef())
+	s := &Server{
+		cfg:    cfg,
+		handle: cfg.Handle,
+		drift:  newDriftMonitor(cfg.Drift),
+		ring:   newSignatureRing(cfg.Drift.RecentCapacity, width, cfg.Drift.SampleStride),
+		start:  time.Now(),
+	}
+	s.pool.New = func() any { return &scratch{} }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/classify", s.methodGuard(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		s.classifyReqs.Add(1)
+		s.handleDecision(w, r, false)
+	}))
+	s.mux.HandleFunc("/v1/lookup", s.methodGuard(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
+		s.lookupReqs.Add(1)
+		s.handleDecision(w, r, true)
+	}))
+	s.mux.HandleFunc("/v1/put", s.methodGuard(http.MethodPost, s.handlePut))
+	s.mux.HandleFunc("/v1/stats", s.methodGuard(http.MethodGet, s.handleStats))
+	s.mux.HandleFunc("/metrics", s.methodGuard(http.MethodGet, s.handleMetrics))
+	s.mux.HandleFunc("/v1/snapshot", s.methodGuard(http.MethodPost, s.handleSnapshot))
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) methodGuard(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			_, _ = io.WriteString(w, `{"error":"method not allowed"}`+"\n")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.badRequests.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// readBody drains the request body into the pooled buffer; steady
+// state performs no allocation once the buffer fits the workload's
+// request size.
+func readBody(r *http.Request, buf []byte, limit int64) ([]byte, error) {
+	if r.ContentLength > limit {
+		return buf, fmt.Errorf("server: request body %d bytes exceeds limit %d", r.ContentLength, limit)
+	}
+	if n := int(r.ContentLength); n > 0 && cap(buf) < n {
+		buf = make([]byte, 0, n)
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if int64(len(buf)) > limit {
+			return buf, fmt.Errorf("server: request body exceeds limit %d", limit)
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// handleDecision is the hot-path HTTP adapter: everything between
+// body-read and response-write is the allocation-free decide().
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, lookup bool) {
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	var err error
+	sc.body, err = readBody(r, sc.body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	out, err := s.decide(s.handle.Current(), sc, lookup)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(out)
+}
+
+// decide parses sc.body and encodes one decision per signature into
+// sc.resp, serving the whole batch from the single repository
+// snapshot cur. This is the steady-state decision path: it performs
+// zero heap allocations once the scratch buffers have warmed up
+// (benchmark-pinned by BenchmarkDecide).
+func (s *Server) decide(cur *core.VersionedRepository, sc *scratch, lookup bool) ([]byte, error) {
+	if err := parseDecisionRequest(sc.body, &sc.req); err != nil {
+		return nil, err
+	}
+	repo := cur.Repo
+	events := repo.EventsRef()
+	// Validate the whole batch before serving any of it: a request
+	// that will be rejected must not feed the drift monitor or the
+	// relearn signature ring (junk prefix rows of repeatedly rejected
+	// batches could otherwise close a drift window and relearn on
+	// garbage).
+	for i := 0; i < sc.req.rows(); i++ {
+		if n := len(sc.req.row(i)); n != len(events) {
+			return nil, fmt.Errorf("server: signature %d has %d values, repository expects %d", i, n, len(events))
+		}
+	}
+	resp := append(sc.resp[:0], `{"version":`...)
+	resp = strconv.AppendUint(resp, cur.Version, 10)
+	resp = append(resp, `,"results":[`...)
+	sig := &sc.sig
+	sig.Events = events
+	for i := 0; i < sc.req.rows(); i++ {
+		row := sc.req.row(i)
+		sig.Values = row
+		if i > 0 {
+			resp = append(resp, ',')
+		}
+		var unforeseen bool
+		if lookup {
+			res, err := repo.Lookup(sig, sc.req.bucket)
+			if err != nil {
+				return nil, err
+			}
+			unforeseen = res.Unforeseen
+			resp = appendLookupResult(resp, &res)
+		} else {
+			class, certainty, unf, err := repo.Classify(sig)
+			if err != nil {
+				return nil, err
+			}
+			unforeseen = unf
+			resp = appendDecision(resp, class, certainty, unf)
+			resp = append(resp, '}')
+		}
+		s.ring.observe(row, unforeseen)
+		if s.drift.observe(unforeseen) {
+			s.triggerRelearn()
+		}
+	}
+	resp = append(resp, ']', '}')
+	sc.resp = resp
+	return resp, nil
+}
+
+// appendDecision encodes the shared classify fields, leaving the
+// object open for lookup extras.
+func appendDecision(resp []byte, class int, certainty float64, unforeseen bool) []byte {
+	resp = append(resp, `{"class":`...)
+	resp = strconv.AppendInt(resp, int64(class), 10)
+	resp = append(resp, `,"certainty":`...)
+	resp = strconv.AppendFloat(resp, certainty, 'g', -1, 64)
+	resp = append(resp, `,"unforeseen":`...)
+	resp = strconv.AppendBool(resp, unforeseen)
+	return resp
+}
+
+func appendLookupResult(resp []byte, res *core.LookupResult) []byte {
+	resp = appendDecision(resp, res.Class, res.Certainty, res.Unforeseen)
+	resp = append(resp, `,"hit":`...)
+	resp = strconv.AppendBool(resp, res.Hit)
+	if res.Hit {
+		resp = append(resp, `,"type":"`...)
+		resp = append(resp, res.Allocation.Type.Name...)
+		resp = append(resp, `","count":`...)
+		resp = strconv.AppendInt(resp, int64(res.Allocation.Count), 10)
+	}
+	return append(resp, '}')
+}
+
+// triggerRelearn launches the background rebuild unless one is
+// already in flight. The decision path only pays for this call when a
+// drift window actually closes over threshold.
+func (s *Server) triggerRelearn() {
+	if s.cfg.Relearn == nil {
+		return
+	}
+	s.flight.TryGo(func() {
+		rows := s.ring.snapshot()
+		if len(rows) < s.cfg.Drift.MinRelearnRows {
+			return
+		}
+		cur := s.handle.Current()
+		repo, err := s.cfg.Relearn(cur.Repo.EventsRef(), rows)
+		if err != nil {
+			s.relearnFails.Add(1)
+			s.logf("dejavud: relearn failed: %v", err)
+			return
+		}
+		v, err := s.handle.Swap(repo)
+		if err != nil {
+			s.relearnFails.Add(1)
+			return
+		}
+		s.relearns.Add(1)
+		s.logf("dejavud: drift relearn swapped in version %d (%d classes from %d signatures)",
+			v, repo.Classes(), len(rows))
+	})
+}
+
+// putRequest is the /v1/put body.
+type putRequest struct {
+	Class  int    `json:"class"`
+	Bucket int    `json:"bucket"`
+	Type   string `json:"type"`
+	Count  int    `json:"count"`
+}
+
+// handlePut stores a tuned allocation — the client side of the DejaVu
+// protocol's miss path (tune, then share the result).
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.putReqs.Add(1)
+	var req putRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("server: decode put: %w", err))
+		return
+	}
+	typ, err := cloud.TypeByName(req.Type)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	cur := s.handle.Current()
+	if err := cur.Repo.Put(req.Class, req.Bucket, cloud.Allocation{Type: typ, Count: req.Count}); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"version":%d,"entries":%d}`+"\n", cur.Version, cur.Repo.Len())
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	Version       uint64  `json:"version"`
+	Classes       int     `json:"classes"`
+	Entries       int     `json:"entries"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Decisions     int64   `json:"decisions"`
+	ClassifyReqs  int64   `json:"classify_requests"`
+	LookupReqs    int64   `json:"lookup_requests"`
+	PutReqs       int64   `json:"put_requests"`
+	BadRequests   int64   `json:"bad_requests"`
+	DriftWindows  int64   `json:"drift_windows"`
+	LastDriftRate float64 `json:"last_window_unforeseen_rate"`
+	DriftTriggers int64   `json:"drift_triggers"`
+	Relearns      int64   `json:"relearns"`
+	RelearnFails  int64   `json:"relearn_failures"`
+	Relearning    bool    `json:"relearning"`
+	RecentRows    int     `json:"recent_rows"`
+	Snapshots     int64   `json:"snapshots"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// StatsSnapshot assembles the current statistics. Counter loads are
+// individually atomic, not mutually consistent — fine for telemetry.
+func (s *Server) StatsSnapshot() Stats {
+	cur := s.handle.Current()
+	hits, misses := cur.Repo.LookupCounts()
+	return Stats{
+		Version:       cur.Version,
+		Classes:       cur.Repo.Classes(),
+		Entries:       cur.Repo.Len(),
+		Hits:          hits,
+		Misses:        misses,
+		HitRate:       cur.Repo.HitRate(),
+		Decisions:     s.drift.decisions.Load(),
+		ClassifyReqs:  s.classifyReqs.Load(),
+		LookupReqs:    s.lookupReqs.Load(),
+		PutReqs:       s.putReqs.Load(),
+		BadRequests:   s.badRequests.Load(),
+		DriftWindows:  s.drift.windows.Load(),
+		LastDriftRate: s.drift.LastWindowRate(),
+		DriftTriggers: s.drift.triggers.Load(),
+		Relearns:      s.relearns.Load(),
+		RelearnFails:  s.relearnFails.Load(),
+		Relearning:    s.flight.Busy(),
+		RecentRows:    s.ring.Len(),
+		Snapshots:     s.snapshots.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.StatsSnapshot())
+}
+
+// handleMetrics renders the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.StatsSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name, help, typ string
+		value           float64
+	}{
+		{"dejavud_repo_version", "Version of the live repository snapshot.", "gauge", float64(st.Version)},
+		{"dejavud_repo_classes", "Workload classes in the live repository.", "gauge", float64(st.Classes)},
+		{"dejavud_repo_entries", "Cached (class, bucket) allocations.", "gauge", float64(st.Entries)},
+		{"dejavud_repo_hits_total", "Repository lookup hits (live version).", "counter", float64(st.Hits)},
+		{"dejavud_repo_misses_total", "Repository lookup misses (live version).", "counter", float64(st.Misses)},
+		{"dejavud_decisions_total", "Decisions served (one per signature).", "counter", float64(st.Decisions)},
+		{"dejavud_classify_requests_total", "POST /v1/classify requests.", "counter", float64(st.ClassifyReqs)},
+		{"dejavud_lookup_requests_total", "POST /v1/lookup requests.", "counter", float64(st.LookupReqs)},
+		{"dejavud_put_requests_total", "POST /v1/put requests.", "counter", float64(st.PutReqs)},
+		{"dejavud_bad_requests_total", "Rejected requests.", "counter", float64(st.BadRequests)},
+		{"dejavud_drift_windows_total", "Closed drift observation windows.", "counter", float64(st.DriftWindows)},
+		{"dejavud_drift_unforeseen_rate", "Unforeseen rate of the last closed window.", "gauge", st.LastDriftRate},
+		{"dejavud_drift_triggers_total", "Windows that crossed the relearn threshold.", "counter", float64(st.DriftTriggers)},
+		{"dejavud_relearns_total", "Background relearns swapped in.", "counter", float64(st.Relearns)},
+		{"dejavud_relearn_failures_total", "Background relearns that failed.", "counter", float64(st.RelearnFails)},
+		{"dejavud_snapshots_total", "Repository snapshots written.", "counter", float64(st.Snapshots)},
+		{"dejavud_uptime_seconds", "Seconds since the server started.", "gauge", st.UptimeSeconds},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+}
+
+// Snapshot persists the live repository to Config.SnapshotPath
+// atomically (temp file + rename) and returns the written version.
+// Used by POST /v1/snapshot and by graceful shutdown.
+func (s *Server) Snapshot() (version uint64, path string, err error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, "", errors.New("server: no snapshot path configured")
+	}
+	s.snapshotMu.Lock()
+	defer s.snapshotMu.Unlock()
+	cur := s.handle.Current()
+	tmp := s.cfg.SnapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, "", err
+	}
+	bw := bufio.NewWriter(f)
+	if err := core.SaveRepository(cur.Repo, bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, "", err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, "", err
+	}
+	// Sync before rename: without it, a crash shortly after the
+	// rename can leave an empty or truncated file under the final
+	// name on journaled filesystems — exactly the torn state the
+	// temp+rename dance exists to prevent.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, "", err
+	}
+	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+		os.Remove(tmp)
+		return 0, "", err
+	}
+	s.snapshots.Add(1)
+	return cur.Version, s.cfg.SnapshotPath, nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	v, path, err := s.Snapshot()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"version":%d,"path":%q}`+"\n", v, path)
+}
+
+// Relearning reports whether a background rebuild is in flight.
+func (s *Server) Relearning() bool { return s.flight.Busy() }
+
+// Relearns reports how many rebuilds have been swapped in.
+func (s *Server) Relearns() int64 { return s.relearns.Load() }

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/services"
+)
+
+// testRepository learns a small Cassandra repository for server tests.
+func testRepository(t testing.TB, seed int64) *core.Repository {
+	t.Helper()
+	svc := services.NewCassandra()
+	rng := rand.New(rand.NewSource(seed))
+	prof, err := core.NewProfiler(svc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := core.NewScaleOutTuner(svc, svc.MaxAllocation().Type, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workloads []services.Workload
+	for c := 100.0; c <= 460; c += 30 {
+		workloads = append(workloads, services.Workload{Clients: c, Mix: svc.DefaultMix()})
+	}
+	repo, _, err := core.Learn(core.LearnConfig{
+		Profiler:  prof,
+		Tuner:     tuner,
+		Workloads: workloads,
+		Rng:       rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// foreseenSignature profiles a signature the repository should
+// recognize, returning its values.
+func foreseenSignature(t testing.TB, repo *core.Repository, seed int64, clients float64) []float64 {
+	t.Helper()
+	svc := services.NewCassandra()
+	prof, err := core.NewProfiler(svc, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := prof.Profile(services.Workload{Clients: clients, Mix: svc.DefaultMix()}, repo.EventsRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig.Values
+}
+
+func newTestServer(t testing.TB, repo *core.Repository, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	h, err := core.NewHandle(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Handle = h
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t testing.TB, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func sigJSON(vals []float64) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%g", v)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func TestServeClassifyAndLookup(t *testing.T) {
+	repo := testRepository(t, 1)
+	_, ts := newTestServer(t, repo, Config{})
+	vals := foreseenSignature(t, repo, 2, 300)
+
+	code, body := post(t, ts.URL+"/v1/classify", `{"signature":`+sigJSON(vals)+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("classify: %d %s", code, body)
+	}
+	var cr struct {
+		Version uint64 `json:"version"`
+		Results []struct {
+			Class      int     `json:"class"`
+			Certainty  float64 `json:"certainty"`
+			Unforeseen bool    `json:"unforeseen"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &cr); err != nil {
+		t.Fatalf("classify response %q: %v", body, err)
+	}
+	if cr.Version != 1 || len(cr.Results) != 1 {
+		t.Fatalf("classify response: %+v", cr)
+	}
+	if cr.Results[0].Unforeseen || cr.Results[0].Class < 0 {
+		t.Errorf("foreseen signature misclassified: %+v", cr.Results[0])
+	}
+
+	// Batched lookup on bucket 0 must hit: learning populated it.
+	batch := `{"bucket":0,"signatures":[` + sigJSON(vals) + `,` + sigJSON(vals) + `]}`
+	code, body = post(t, ts.URL+"/v1/lookup", batch)
+	if code != http.StatusOK {
+		t.Fatalf("lookup: %d %s", code, body)
+	}
+	var lr struct {
+		Version uint64 `json:"version"`
+		Results []struct {
+			Class      int     `json:"class"`
+			Certainty  float64 `json:"certainty"`
+			Unforeseen bool    `json:"unforeseen"`
+			Hit        bool    `json:"hit"`
+			Type       string  `json:"type"`
+			Count      int     `json:"count"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &lr); err != nil {
+		t.Fatalf("lookup response %q: %v", body, err)
+	}
+	if len(lr.Results) != 2 {
+		t.Fatalf("lookup results: %+v", lr)
+	}
+	for i, r := range lr.Results {
+		if !r.Hit || r.Type == "" || r.Count <= 0 {
+			t.Errorf("result %d should be a populated hit: %+v", i, r)
+		}
+	}
+
+	// An absurd signature is unforeseen and cannot hit.
+	far := make([]float64, len(vals))
+	for i := range far {
+		far[i] = 1e9
+	}
+	code, body = post(t, ts.URL+"/v1/lookup", `{"signature":`+sigJSON(far)+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("unforeseen lookup: %d %s", code, body)
+	}
+	if !strings.Contains(body, `"unforeseen":true`) || !strings.Contains(body, `"class":-1`) {
+		t.Errorf("unforeseen lookup response: %s", body)
+	}
+}
+
+func TestServePutStatsMetricsAndErrors(t *testing.T) {
+	repo := testRepository(t, 3)
+	s, ts := newTestServer(t, repo, Config{})
+	vals := foreseenSignature(t, repo, 4, 300)
+
+	// Put a bucket-3 entry, then look it up.
+	code, body := post(t, ts.URL+"/v1/put", `{"class":0,"bucket":3,"type":"large","count":6}`)
+	if code != http.StatusOK {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	if _, ok := repo.Get(0, 3); !ok {
+		t.Fatal("put entry not visible in repository")
+	}
+
+	// Stats reflect traffic.
+	post(t, ts.URL+"/v1/classify", `{"signature":`+sigJSON(vals)+`}`)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Version != 1 || st.Decisions < 1 || st.ClassifyReqs < 1 || st.PutReqs != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Entries != repo.Len() || st.Classes != repo.Classes() {
+		t.Errorf("stats repo shape: %+v", st)
+	}
+
+	// Prometheus text format.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE dejavud_decisions_total counter",
+		"dejavud_repo_version 1",
+		"dejavud_put_requests_total 1",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, mb)
+		}
+	}
+
+	// Error paths.
+	if code, _ := post(t, ts.URL+"/v1/put", `{"class":0,"bucket":0,"type":"petabyte","count":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown type: %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/classify", `{"oops":true}`); code != http.StatusBadRequest {
+		t.Errorf("missing signature: %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/classify", `{"signature":[1,2]}`); code != http.StatusBadRequest {
+		t.Errorf("width mismatch: %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/v1/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET classify: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("405 Content-Type %q: error bodies are JSON on every endpoint", ct)
+	}
+
+	// A rejected batch must not leak its valid prefix rows into the
+	// drift monitor or the relearn corpus.
+	preDecisions := s.StatsSnapshot().Decisions
+	preRows := s.StatsSnapshot().RecentRows
+	mixed := `{"signatures":[` + sigJSON(vals) + `,[1,2,3]]}`
+	if code, _ := post(t, ts.URL+"/v1/lookup", mixed); code != http.StatusBadRequest {
+		t.Errorf("width-mismatched batch: %d", code)
+	}
+	if st := s.StatsSnapshot(); st.Decisions != preDecisions || st.RecentRows != preRows {
+		t.Errorf("rejected batch fed the drift state: decisions %d->%d, rows %d->%d",
+			preDecisions, st.Decisions, preRows, st.RecentRows)
+	}
+	if code, _ := post(t, ts.URL+"/v1/snapshot", ``); code != http.StatusBadRequest {
+		t.Errorf("snapshot without path: %d", code)
+	}
+	if st := s.StatsSnapshot(); st.BadRequests < 4 {
+		t.Errorf("bad requests not counted: %+v", st)
+	}
+}
+
+func TestDriftMonitorWindows(t *testing.T) {
+	d := newDriftMonitor(DriftConfig{Window: 10, Threshold: 0.5})
+	// First window: 4/10 unforeseen — below threshold.
+	for i := 0; i < 10; i++ {
+		trig := d.observe(i < 4)
+		if trig {
+			t.Fatalf("decision %d: unexpected trigger", i)
+		}
+	}
+	if got := d.LastWindowRate(); got != 0.4 {
+		t.Errorf("window 1 rate %v, want 0.4", got)
+	}
+	// Second window: 6/10 — the closing decision triggers.
+	var triggered bool
+	for i := 0; i < 10; i++ {
+		if d.observe(i < 6) {
+			if i != 9 {
+				t.Errorf("trigger fired mid-window at %d", i)
+			}
+			triggered = true
+		}
+	}
+	if !triggered {
+		t.Error("over-threshold window should trigger")
+	}
+	if d.windows.Load() != 2 || d.triggers.Load() != 1 || d.decisions.Load() != 20 {
+		t.Errorf("counters: windows=%d triggers=%d decisions=%d",
+			d.windows.Load(), d.triggers.Load(), d.decisions.Load())
+	}
+}
+
+func TestSignatureRing(t *testing.T) {
+	r := newSignatureRing(4, 2, 3)
+	// Unforeseen rows always record.
+	for i := 0; i < 3; i++ {
+		r.observe([]float64{float64(i), 1}, true)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d, want 3", r.Len())
+	}
+	// Foreseen rows record every 3rd call.
+	for i := 0; i < 6; i++ {
+		r.observe([]float64{9, 9}, false)
+	}
+	if r.Len() != 4 { // capacity-bounded
+		t.Fatalf("len %d, want 4 (capacity)", r.Len())
+	}
+	// Width-mismatched rows are ignored, not corrupting.
+	r.observe([]float64{1, 2, 3}, true)
+	for _, row := range r.snapshot() {
+		if len(row) != 2 {
+			t.Fatalf("snapshot row width %d", len(row))
+		}
+	}
+	// Snapshot rows are copies.
+	snap := r.snapshot()
+	orig := snap[0][0]
+	r.observe([]float64{777, 777}, true)
+	r.observe([]float64{778, 778}, true)
+	if snap[0][0] != orig {
+		t.Error("snapshot aliases ring storage")
+	}
+}

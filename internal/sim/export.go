@@ -26,8 +26,8 @@ func (r *Result) WriteRecordsCSV(w io.Writer) error {
 			strconv.FormatFloat(rec.LatencyMs, 'f', 3, 64),
 			strconv.FormatFloat(rec.QoSPercent, 'f', 2, 64),
 			strconv.FormatFloat(rec.Utilization, 'f', 4, 64),
-			strconv.Itoa(rec.Allocation.Count),
-			rec.Allocation.Type.Name,
+			strconv.Itoa(int(rec.Alloc.Count)),
+			rec.Alloc.Type.Instance().Name,
 			strconv.FormatBool(rec.InTransition),
 			strconv.FormatBool(rec.SLOViolated),
 			strconv.FormatFloat(rec.Interference, 'f', 3, 64),

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/services"
 	"repro/internal/trace"
 )
@@ -142,6 +143,11 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 		}
 	}
 
+	// One base draw from the scenario Rng seeds every VM's private
+	// stream (via rng.Derive); the scenario Rng itself is consumed
+	// only for fleet-level choices (stagger, interference schedules).
+	base := cfg.Rng.Int63()
+
 	specs := make([]VMSpec, 0, cfg.VMs)
 	for i := 0; i < cfg.VMs; i++ {
 		var svc services.Service
@@ -160,8 +166,12 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 			}
 		}
 
-		vmSeed := cfg.Rng.Int63()
-		vmRng := rand.New(rand.NewSource(vmSeed))
+		// Per-VM streams are derived splitmix64 seeds: one integer
+		// write per VM instead of math/rand's 607-word up-front table
+		// expansion, and VM i's stream depends only on (base, i), so
+		// adding VMs never perturbs the existing ones.
+		vmSeed := rng.Derive(base, i)
+		vmRng := rng.New(vmSeed)
 		var week *trace.Trace
 		if i%2 == 0 {
 			week = trace.Messenger(trace.SynthConfig{Rng: vmRng, DailyPhaseShift: true})

@@ -100,18 +100,52 @@ func Steps(total, step time.Duration) int {
 	return int((total + step - 1) / step)
 }
 
-// StepRecord is one simulation step's outcome.
+// AllocRef is a pointer-free allocation reference: the instance type
+// as a catalog index plus the count. Step records store AllocRefs
+// instead of cloud.Allocation values so the fleet's step-record arena
+// contains no pointers at all — the GC marks the whole multi-million-
+// record slab without scanning it (at vms=100 that scan was a
+// measurable share of run-phase GC work).
+type AllocRef struct {
+	Type  cloud.TypeID
+	Count int32
+}
+
+// RefOf compacts an allocation into its record form.
+func RefOf(a cloud.Allocation) AllocRef {
+	return AllocRef{Type: a.Type.ID(), Count: int32(a.Count)}
+}
+
+// Allocation expands the reference back into the full catalog-backed
+// allocation value.
+func (a AllocRef) Allocation() cloud.Allocation {
+	return cloud.Allocation{Type: a.Type.Instance(), Count: int(a.Count)}
+}
+
+// Capacity returns the referenced allocation's total capacity in
+// large-instance units.
+func (a AllocRef) Capacity() float64 {
+	return float64(a.Count) * a.Type.Instance().Capacity
+}
+
+// StepRecord is one simulation step's outcome. The layout is
+// deliberately pointer-free (see AllocRef); TestStepRecordPointerFree
+// pins that property.
 type StepRecord struct {
 	Now          time.Duration
 	Clients      float64
 	LatencyMs    float64
 	QoSPercent   float64
 	Utilization  float64
-	Allocation   cloud.Allocation
+	Alloc        AllocRef
 	InTransition bool
 	SLOViolated  bool
 	Interference float64
 }
+
+// Allocation returns the step's serving allocation, expanded from the
+// compact record form.
+func (r *StepRecord) Allocation() cloud.Allocation { return r.Alloc.Allocation() }
 
 // Episode is one adaptation episode: from the controller issuing a
 // change until the deployment settles.
@@ -159,7 +193,7 @@ func (r *Result) MeanAllocatedInstances() float64 {
 	}
 	sum := 0.0
 	for _, rec := range r.Records {
-		sum += float64(rec.Allocation.Count)
+		sum += float64(rec.Alloc.Count)
 	}
 	return sum / float64(len(r.Records))
 }
@@ -242,6 +276,7 @@ func Run(cfg Config) (*Result, error) {
 	active, target, inTransition := dep.Status(0)
 	readyAt, _ := dep.PendingReadyAt()
 	activeCap := active.Capacity()
+	activeRef := RefOf(active)
 	// Traces are zero-order hold: the load only changes on sample
 	// boundaries, so At (an integer division per call) runs once per
 	// trace sample instead of once per step.
@@ -274,6 +309,7 @@ func Run(cfg Config) (*Result, error) {
 		if inTransition && now >= readyAt {
 			active, target, inTransition = dep.Status(now)
 			activeCap = active.Capacity()
+			activeRef = RefOf(active)
 		}
 
 		// Effective capacity from the cached snapshot — the same value
@@ -305,7 +341,7 @@ func Run(cfg Config) (*Result, error) {
 		rec.LatencyMs = perf.LatencyMs
 		rec.QoSPercent = perf.QoSPercent
 		rec.Utilization = perf.Utilization
-		rec.Allocation = active
+		rec.Alloc = activeRef
 		rec.InTransition = inTransition
 		rec.SLOViolated = violated
 		rec.Interference = interf
@@ -340,6 +376,7 @@ func Run(cfg Config) (*Result, error) {
 			active, target, inTransition = dep.Status(now)
 			readyAt, _ = dep.PendingReadyAt()
 			activeCap = active.Capacity()
+			activeRef = RefOf(active)
 		}
 		// An episode ends when nothing is pending anymore (the cached
 		// snapshot answers the one-step-ahead peek the engine used to

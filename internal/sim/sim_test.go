@@ -188,7 +188,7 @@ func TestRunOracleAdapts(t *testing.T) {
 		t.Errorf("late-phase violations %d/%d too high", violations, len(late))
 	}
 	// The final allocation must be larger than the initial.
-	last := res.Records[len(res.Records)-1].Allocation
+	last := res.Records[len(res.Records)-1].Alloc
 	if last.Count <= 3 {
 		t.Errorf("final count=%d want > 3", last.Count)
 	}
@@ -258,7 +258,7 @@ func TestRunStabilizationTransient(t *testing.T) {
 	// shortly after versus well after.
 	changeIdx := -1
 	for i := 1; i < len(res.Records); i++ {
-		if res.Records[i].Allocation.Count != res.Records[i-1].Allocation.Count {
+		if res.Records[i].Alloc.Count != res.Records[i-1].Alloc.Count {
 			changeIdx = i
 			break
 		}
