@@ -22,7 +22,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,10 +32,10 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
@@ -46,6 +45,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/services"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Bench is one recorded benchmark.
@@ -101,9 +101,11 @@ type LearnReport struct {
 	KMeansAuto LearnBench `json:"kmeans_auto"`
 }
 
-// ServeBench is the decision-service measurement: concurrent clients
-// hammering batched lookups at a dejavud server over loopback HTTP.
+// ServeBench is one decision-service measurement: concurrent clients
+// hammering batched lookups at a dejavud server over loopback HTTP
+// through the internal/client library, in one wire encoding.
 type ServeBench struct {
+	Encoding        string  `json:"encoding"`
 	Clients         int     `json:"clients"`
 	Batch           int     `json:"batch"`
 	Requests        int     `json:"requests"`
@@ -114,30 +116,34 @@ type ServeBench struct {
 	HitPct          float64 `json:"hit_pct"`
 }
 
-// ServeReport is the BENCH_serve.json schema.
+// ServeReport is the BENCH_serve.json schema: the same loopback load
+// measured once per wire encoding. The binary/JSON decisions-per-sec
+// ratio is CI-gated (see serveCheck).
 type ServeReport struct {
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
-	Serve      ServeBench `json:"serve"`
+	ServeJSON  ServeBench `json:"serve_json"`
+	ServeBin   ServeBench `json:"serve_binary"`
 }
 
 // benchServe learns a small repository, serves it through the real
 // internal/server HTTP stack on loopback, and drives `clients`
-// concurrent connections issuing `requests` batched lookups. The
-// decision path's 0 allocs/op is pinned separately by the package's
-// TestDecideZeroAlloc; this measures end-to-end serving throughput
-// and tail latency.
-func benchServe(clients, batch, requests int) (ServeBench, error) {
-	sb := ServeBench{Clients: clients, Batch: batch, Requests: requests}
+// concurrent connections issuing `requests` batched lookups through
+// the internal/client library — once per wire encoding, same load.
+// The decision path's 0 allocs/op is pinned separately by the server
+// and client zero-alloc tests; this measures end-to-end serving
+// throughput and tail latency, and the codec tax separating the two
+// encodings.
+func benchServe(clients, batch, requests int) (jsonBench, binBench ServeBench, err error) {
 	svc := services.NewCassandra()
 	learnRng := rand.New(rand.NewSource(17))
 	prof, err := core.NewProfiler(svc, learnRng)
 	if err != nil {
-		return sb, err
+		return jsonBench, binBench, err
 	}
 	tuner, err := fleet.DefaultTuner(svc)
 	if err != nil {
-		return sb, err
+		return jsonBench, binBench, err
 	}
 	var workloads []services.Workload
 	for c := 100.0; c <= 460; c += 30 {
@@ -150,19 +156,19 @@ func benchServe(clients, batch, requests int) (ServeBench, error) {
 		Rng:       learnRng,
 	})
 	if err != nil {
-		return sb, err
+		return jsonBench, binBench, err
 	}
 	handle, err := core.NewHandle(repo)
 	if err != nil {
-		return sb, err
+		return jsonBench, binBench, err
 	}
 	srv, err := server.New(server.Config{Handle: handle})
 	if err != nil {
-		return sb, err
+		return jsonBench, binBench, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return sb, err
+		return jsonBench, binBench, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
@@ -171,35 +177,50 @@ func benchServe(clients, batch, requests int) (ServeBench, error) {
 	// One foreseen signature, batched: the steady-state hit path.
 	sig, err := prof.Profile(services.Workload{Clients: 300, Mix: svc.DefaultMix()}, repo.EventsRef())
 	if err != nil {
+		return jsonBench, binBench, err
+	}
+	addr := ln.Addr().String()
+
+	if jsonBench, err = benchServeEncoding(addr, sig.Values, wire.EncodingJSON, clients, batch, requests); err != nil {
+		return jsonBench, binBench, err
+	}
+	if binBench, err = benchServeEncoding(addr, sig.Values, wire.EncodingBinary, clients, batch, requests); err != nil {
+		return jsonBench, binBench, err
+	}
+	jsonBench.HitPct = 100 * repo.HitRate()
+	binBench.HitPct = jsonBench.HitPct
+	return jsonBench, binBench, nil
+}
+
+// benchServeEncoding drives one encoding's load: `clients` workers
+// over one pooled client, best of three passes (loopback throughput
+// on a small shared runner is noisy, and the gate compares against
+// the best the machine can do).
+func benchServeEncoding(addr string, vals []float64, enc wire.Encoding, clients, batch, requests int) (ServeBench, error) {
+	name := "json"
+	if enc == wire.EncodingBinary {
+		name = "binary"
+	}
+	sb := ServeBench{Encoding: name, Clients: clients, Batch: batch, Requests: requests}
+	cl, err := client.New(client.Config{Addr: addr, Encoding: enc, MaxIdleConns: clients})
+	if err != nil {
 		return sb, err
 	}
-	var body bytes.Buffer
-	body.WriteString(`{"bucket":0,"signatures":[`)
-	for i := 0; i < batch; i++ {
-		if i > 0 {
-			body.WriteByte(',')
-		}
-		body.WriteByte('[')
-		for j, v := range sig.Values {
-			if j > 0 {
-				body.WriteByte(',')
-			}
-			body.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
-		}
-		body.WriteByte(']')
-	}
-	body.WriteString(`]}`)
-	payload := body.Bytes()
-	url := "http://" + ln.Addr().String() + "/v1/lookup"
+	defer cl.Close()
 
-	httpClients := make([]*http.Client, clients)
-	for i := range httpClients {
-		httpClients[i] = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	// Per-worker wire scratch: requests are identical, decode state is
+	// private.
+	reqs := make([]*wire.Request, clients)
+	resps := make([]*wire.Response, clients)
+	for i := range reqs {
+		reqs[i] = &wire.Request{}
+		reqs[i].Bucket = 0
+		for r := 0; r < batch; r++ {
+			reqs[i].AppendRow(vals)
+		}
+		resps[i] = &wire.Response{}
 	}
 
-	// Best of three passes (like the learn bench): loopback HTTP
-	// throughput on a small shared runner is noisy, and the gate
-	// compares against the best the machine can do.
 	for trial := 0; trial < 3; trial++ {
 		latencies := make([][]time.Duration, clients)
 		errs := make([]error, clients)
@@ -209,15 +230,8 @@ func benchServe(clients, batch, requests int) (ServeBench, error) {
 				return
 			}
 			t0 := time.Now()
-			resp, err := httpClients[worker].Post(url, "application/json", bytes.NewReader(payload))
-			if err != nil {
+			if err := cl.Decide(true, reqs[worker], resps[worker]); err != nil {
 				errs[worker] = err
-				return
-			}
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				errs[worker] = fmt.Errorf("serve bench: HTTP %d", resp.StatusCode)
 				return
 			}
 			latencies[worker] = append(latencies[worker], time.Since(t0))
@@ -244,15 +258,32 @@ func benchServe(clients, batch, requests int) (ServeBench, error) {
 			sb.P99Ms = quantile(0.99)
 		}
 	}
-	sb.HitPct = 100 * repo.HitRate()
 	return sb, nil
 }
 
-func serveCheck(current, baseline *ServeReport, tolerance float64) error {
-	floor := baseline.Serve.DecisionsPerSec * (1 - tolerance)
-	if current.Serve.DecisionsPerSec < floor {
-		return fmt.Errorf("serve decisions/s regressed: %.0f < %.0f (baseline %.0f - %d%%)",
-			current.Serve.DecisionsPerSec, floor, baseline.Serve.DecisionsPerSec, int(tolerance*100))
+func serveCheck(current, baseline *ServeReport, tolerance, binaryFloor float64) error {
+	for _, axis := range []struct {
+		name     string
+		cur, bas float64
+	}{
+		{"serve_json", current.ServeJSON.DecisionsPerSec, baseline.ServeJSON.DecisionsPerSec},
+		{"serve_binary", current.ServeBin.DecisionsPerSec, baseline.ServeBin.DecisionsPerSec},
+	} {
+		floor := axis.bas * (1 - tolerance)
+		if axis.cur < floor {
+			return fmt.Errorf("%s decisions/s regressed: %.0f < %.0f (baseline %.0f - %d%%)",
+				axis.name, axis.cur, floor, axis.bas, int(tolerance*100))
+		}
+	}
+	// The hardware-independent part of the gate: the binary columnar
+	// encoding must beat JSON by the configured factor on the same
+	// load — the whole point of the wire refactor.
+	if current.ServeJSON.DecisionsPerSec > 0 {
+		ratio := current.ServeBin.DecisionsPerSec / current.ServeJSON.DecisionsPerSec
+		if ratio < binaryFloor {
+			return fmt.Errorf("binary/json decisions/s ratio fell below floor: %.2fx < %.2fx (binary %.0f, json %.0f)",
+				ratio, binaryFloor, current.ServeBin.DecisionsPerSec, current.ServeJSON.DecisionsPerSec)
+		}
 	}
 	return nil
 }
@@ -528,7 +559,8 @@ func main() {
 	serveCheckPath := flag.String("serve-check", "", "compare the decision service against this baseline JSON and fail on regression")
 	serveClients := flag.Int("serve-clients", 8, "concurrent load-generator clients for the serve benchmark")
 	serveBatch := flag.Int("serve-batch", 16, "signatures per batched lookup in the serve benchmark")
-	serveRequests := flag.Int("serve-requests", 8000, "total requests issued by the serve benchmark")
+	serveRequests := flag.Int("serve-requests", 8000, "total requests issued by the serve benchmark per encoding")
+	serveBinaryFloor := flag.Float64("serve-binary-floor", 1.5, "minimum binary/json decisions/s ratio with -serve-check")
 	flag.Parse()
 
 	baseline := readBaseline[Report](*checkPath, "fleet")
@@ -539,16 +571,17 @@ func main() {
 	if *serveOut != "" || *serveCheckPath != "" {
 		serveRep := &ServeReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 		var err error
-		if serveRep.Serve, err = benchServe(*serveClients, *serveBatch, *serveRequests); err != nil {
+		if serveRep.ServeJSON, serveRep.ServeBin, err = benchServe(*serveClients, *serveBatch, *serveRequests); err != nil {
 			fatalf("serve: %v", err)
 		}
 		emitReport(*serveOut, serveRep)
 		if serveBaseline != nil {
-			if err := serveCheck(serveRep, serveBaseline, *tolerance); err != nil {
+			if err := serveCheck(serveRep, serveBaseline, *tolerance, *serveBinaryFloor); err != nil {
 				fatalf("REGRESSION: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "dejavu-bench: serve ok vs %s (%.0f decisions/s, p99 %.2fms)\n",
-				*serveCheckPath, serveRep.Serve.DecisionsPerSec, serveRep.Serve.P99Ms)
+			fmt.Fprintf(os.Stderr, "dejavu-bench: serve ok vs %s (json %.0f, binary %.0f decisions/s, %.1fx, binary p99 %.2fms)\n",
+				*serveCheckPath, serveRep.ServeJSON.DecisionsPerSec, serveRep.ServeBin.DecisionsPerSec,
+				serveRep.ServeBin.DecisionsPerSec/serveRep.ServeJSON.DecisionsPerSec, serveRep.ServeBin.P99Ms)
 		}
 		// Serve-only invocations skip the other benchmarks.
 		if *out == "" && *checkPath == "" && *learnOut == "" && *learnCheckPath == "" {

@@ -1,56 +1,154 @@
-// Command dejavu-proxy runs the stand-alone duplicating proxy: it
-// forwards client connections to the production address and mirrors a
-// sampled subset of sessions to a profiling clone, whose replies are
-// dropped (paper §3.2.1).
+// Command dejavu-proxy runs DejaVu's duplicating proxy in one of two
+// modes.
+//
+// Byte-stream mode (default) is the paper's §3.2.1 transport-level
+// proxy: it forwards client connections to the production address and
+// mirrors a sampled subset of sessions to a profiling clone, whose
+// replies are dropped.
+//
+// Decision mode (-decision) lifts the same pattern to the decision
+// plane on the unified protocol stack: it accepts wire-protocol
+// decision requests (JSON or binary, negotiated per caller), forwards
+// them to an upstream dejavud through the internal/client library,
+// answers in each caller's encoding, and optionally mirrors sampled
+// batches to a clone daemon — fronting a dejavud replica without
+// touching clients.
 //
 // Usage:
 //
 //	dejavu-proxy -listen :8080 -production host:port [-clone host:port] [-sample N]
+//	dejavu-proxy -decision -listen :8080 -upstream host:port [-clone host:port] [-sample N] [-upstream-json]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/proxy"
+	"repro/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "address to accept client sessions on")
-	production := flag.String("production", "", "production service address (required)")
+	production := flag.String("production", "", "byte-stream mode: production service address (required)")
 	clone := flag.String("clone", "", "profiling clone address (empty disables duplication)")
-	sample := flag.Int("sample", 1, "duplicate one in every N client sessions")
+	sample := flag.Int("sample", 1, "duplicate one in every N client sessions (byte-stream) or batches (decision)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval")
+	decision := flag.Bool("decision", false, "decision mode: front a dejavud on the wire protocol")
+	upstream := flag.String("upstream", "", "decision mode: upstream dejavud host:port (required)")
+	upstreamJSON := flag.Bool("upstream-json", false, "decision mode: talk JSON to the upstream instead of binary")
 	flag.Parse()
 
-	if *production == "" {
-		fmt.Fprintln(os.Stderr, "dejavu-proxy: -production is required")
-		os.Exit(2)
+	var err error
+	if *decision {
+		err = runDecision(*listen, *upstream, *clone, *sample, *statsEvery, *upstreamJSON)
+	} else {
+		err = runByteStream(*listen, *production, *clone, *sample, *statsEvery)
 	}
-	p, err := proxy.New(proxy.Config{
-		ListenAddr:     *listen,
-		ProductionAddr: *production,
-		CloneAddr:      *clone,
-		SampleEvery:    *sample,
-	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dejavu-proxy:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dejavu-proxy: listening on %s -> production %s", p.Addr(), *production)
-	if *clone != "" {
-		fmt.Printf(", duplicating 1/%d sessions to %s", *sample, *clone)
+}
+
+// runDecision serves the decision front until SIGINT/SIGTERM.
+func runDecision(listen, upstream, clone string, sample int, statsEvery time.Duration, upstreamJSON bool) error {
+	if upstream == "" {
+		return errors.New("-decision needs -upstream host:port")
+	}
+	enc := wire.EncodingBinary
+	if upstreamJSON {
+		enc = wire.EncodingJSON
+	}
+	up, err := client.New(client.Config{Addr: upstream, Encoding: enc})
+	if err != nil {
+		return err
+	}
+	defer up.Close()
+	cfg := proxy.DecisionFrontConfig{
+		Upstream:    up,
+		SampleEvery: sample,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if clone != "" {
+		cl, err := client.New(client.Config{Addr: clone, Encoding: enc})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		cfg.Clone = cl
+	}
+	front, err := proxy.NewDecisionFront(cfg)
+	if err != nil {
+		return err
+	}
+	defer front.Close()
+
+	srv := &http.Server{Addr: listen, Handler: front.Handler()}
+	done := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			done <- err
+		}
+	}()
+	fmt.Printf("dejavu-proxy: %s on %s -> dejavud %s", front, listen, upstream)
+	if clone != "" {
+		fmt.Printf(", mirroring 1/%d batches to %s", sample, clone)
+	}
+	fmt.Println()
+
+	ticker := time.NewTicker(statsEvery)
+	defer ticker.Stop()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			st := front.Stats()
+			fmt.Printf("batches %d, decisions %d, errors %d, mirrored %d (drops %d, fails %d)\n",
+				st.Batches, st.Decisions, st.Errors, st.Mirrored, st.MirrorDrops, st.MirrorFails)
+		case <-sigs:
+			fmt.Println("dejavu-proxy: shutting down")
+			return srv.Close()
+		case err := <-done:
+			return err
+		}
+	}
+}
+
+// runByteStream serves the transport-level duplicating proxy.
+func runByteStream(listen, production, clone string, sample int, statsEvery time.Duration) error {
+	if production == "" {
+		return errors.New("-production is required (or use -decision mode)")
+	}
+	p, err := proxy.New(proxy.Config{
+		ListenAddr:     listen,
+		ProductionAddr: production,
+		CloneAddr:      clone,
+		SampleEvery:    sample,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dejavu-proxy: listening on %s -> production %s", p.Addr(), production)
+	if clone != "" {
+		fmt.Printf(", duplicating 1/%d sessions to %s", sample, clone)
 	}
 	fmt.Println()
 
 	done := make(chan error, 1)
 	go func() { done <- p.Serve() }()
 
-	ticker := time.NewTicker(*statsEvery)
+	ticker := time.NewTicker(statsEvery)
 	defer ticker.Stop()
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -63,16 +161,9 @@ func main() {
 				st.Sessions, st.Duplicated, st.BytesIn, st.BytesOut, st.BytesDuplicated, st.CloneErrors)
 		case <-sigs:
 			fmt.Println("dejavu-proxy: shutting down")
-			if err := p.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "dejavu-proxy: close:", err)
-			}
-			return
+			return p.Close()
 		case err := <-done:
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dejavu-proxy:", err)
-				os.Exit(1)
-			}
-			return
+			return err
 		}
 	}
 }

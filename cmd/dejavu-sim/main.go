@@ -8,6 +8,12 @@
 //	dejavu-sim [-trace hotmail|messenger] [-controller dejavu|autopilot|rightscale|fixedmax]
 //	           [-days D] [-seed N] [-calm MINUTES] [-interference]
 //	dejavu-sim -fleet N [-workers W] [-days D] [-seed N] [-interference] [-hetero]
+//	           [-remote ADDR [-remote-json]]
+//
+// With -remote, the fleet installs each template's learned repository
+// into the dejavud daemon at ADDR and drives every runtime decision
+// over the wire (binary columnar encoding by default) instead of an
+// in-process repository — same seeds, byte-identical decisions.
 package main
 
 import (
@@ -19,12 +25,14 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/client"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -37,13 +45,17 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "fleet mode: number of concurrently simulated VMs (0 = single-VM mode)")
 	workers := flag.Int("workers", 0, "fleet worker-pool size (default GOMAXPROCS)")
 	hetero := flag.Bool("hetero", false, "fleet mode: mix cassandra/specweb/rubis templates instead of all-cassandra")
+	remote := flag.String("remote", "", "fleet mode: drive a remote dejavud at this host:port instead of in-process repositories")
+	remoteJSON := flag.Bool("remote-json", false, "use the JSON compatibility encoding on the remote decision path (default binary)")
 	flag.Parse()
 
 	var err error
 	if *fleetN < 0 {
 		err = fmt.Errorf("-fleet %d: fleet size cannot be negative", *fleetN)
 	} else if *fleetN > 0 {
-		err = runFleet(os.Stdout, *fleetN, *workers, *days, *seed, *interference, *hetero)
+		err = runFleet(os.Stdout, *fleetN, *workers, *days, *seed, *interference, *hetero, *remote, *remoteJSON)
+	} else if *remote != "" {
+		err = fmt.Errorf("-remote needs -fleet N")
 	} else {
 		err = run(os.Stdout, *traceName, *controller, *days, *seed, *calm, *interference)
 	}
@@ -54,8 +66,9 @@ func main() {
 }
 
 // runFleet generates an N-VM scenario and runs the fleet control
-// plane over it.
-func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, hetero bool) error {
+// plane over it — against in-process repositories, or against a
+// remote dejavud when remoteAddr is set.
+func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, hetero bool, remoteAddr string, remoteJSON bool) error {
 	if days < 2 || days > 7 {
 		days = 2
 	}
@@ -69,11 +82,26 @@ func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, het
 	if err != nil {
 		return err
 	}
-	res, err := fleet.Run(fleet.Config{
+	fcfg := fleet.Config{
 		Specs:                 specs,
 		Workers:               workers,
 		InterferenceDetection: interference,
-	})
+	}
+	if remoteAddr != "" {
+		enc := wire.EncodingBinary
+		if remoteJSON {
+			enc = wire.EncodingJSON
+		}
+		cl, err := client.New(client.Config{Addr: remoteAddr, Encoding: enc})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		fcfg.Remote = cl
+		fmt.Fprintf(w, "fleet: decisions served by dejavud at %s (%s encoding)\n",
+			remoteAddr, map[bool]string{true: "json", false: "binary"}[remoteJSON])
+	}
+	res, err := fleet.Run(fcfg)
 	if err != nil {
 		return err
 	}

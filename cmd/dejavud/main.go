@@ -1,30 +1,39 @@
 // Command dejavud is the DejaVu decision daemon: a long-running
-// network service that owns a learned signature repository and serves
-// classify/lookup decisions over HTTP/JSON to a fleet of controllers,
-// completing the reproduction's path from in-process library to
-// deployable control-plane service.
+// network service that owns learned signature repositories — one per
+// service template — and serves classify/lookup decisions over the
+// shared wire protocol (JSON or binary columnar, negotiated via
+// Content-Type) to a fleet of controllers, completing the
+// reproduction's path from in-process library to deployable
+// control-plane service.
 //
 // Lifecycle:
 //
-//   - On start, the daemon loads the repository from -snapshot if the
-//     file exists; otherwise it runs the learning phase over a
-//     synthetic learning day for -service and persists the result.
-//   - At runtime it serves POST /v1/classify, POST /v1/lookup (single
-//     or batched), POST /v1/put, GET /v1/stats, GET /metrics, and
-//     POST /v1/snapshot. The decision path is allocation-free; the
-//     repository sits behind a versioned atomic handle.
-//   - An online drift monitor tracks the unforeseen-signature rate
-//     per window; when it crosses the threshold, the daemon
-//     re-clusters the recently observed signatures in the background
-//     (fanning out on the shared worker pool) and hot-swaps the new
-//     repository version without blocking in-flight requests.
+//   - On start, the daemon loads each template's repository from its
+//     snapshot file if present; otherwise it runs the learning phase
+//     over a synthetic learning day for the template's service and
+//     persists the result. With -services none it starts empty and
+//     waits for a control plane to POST /v1/install learned
+//     repositories (the fleet's remote mode does exactly this).
+//   - At runtime it serves POST /v1/classify, POST /v1/lookup
+//     (single or batched, JSON or binary), POST /v1/put, POST
+//     /v1/get, POST /v1/install, GET /v1/stats, GET /v1/templates,
+//     GET /metrics, and POST /v1/snapshot. The decision path is
+//     allocation-free; every repository sits behind a versioned
+//     atomic handle, routed by the template id in the wire header.
+//   - Each template has its own online drift monitor; when a
+//     template's unforeseen-signature rate crosses the threshold,
+//     the daemon re-clusters that template's recently observed
+//     signatures in the background (single-flight per template) and
+//     hot-swaps the new repository version without blocking
+//     in-flight requests.
 //   - On SIGINT/SIGTERM the daemon stops accepting connections,
-//     drains, snapshots the repository, and exits — the next start
-//     resumes from the snapshot with identical decisions.
+//     drains, snapshots every template, and exits — the next start
+//     resumes from the snapshots with identical decisions.
 //
-// Example:
+// Examples:
 //
-//	dejavud -addr :7700 -service cassandra -snapshot /var/lib/dejavud/cassandra.json
+//	dejavud -addr :7700 -services cassandra,specweb -snapshot /var/lib/dejavud/repo.json
+//	dejavud -addr :7700 -services none   # install-only: templates arrive via /v1/install
 package main
 
 import (
@@ -37,6 +46,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -102,15 +113,86 @@ func learnRepository(svc services.Service, seed int64, workers int) (*core.Repos
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("dejavud: learned %d classes over %d workloads (classifier accuracy %.2f)",
-		report.Classes, report.NumWorkloads, report.ClassifierAccuracy)
+	log.Printf("dejavud: %s: learned %d classes over %d workloads (classifier accuracy %.2f)",
+		svc.Name(), report.Classes, report.NumWorkloads, report.ClassifierAccuracy)
 	return repo, nil
+}
+
+// templateNames parses the -services/-service flags: -services wins
+// when set, "none" means start empty (install-only).
+func templateNames(servicesFlag, serviceFlag string) ([]string, error) {
+	raw := servicesFlag
+	if raw == "" {
+		raw = serviceFlag
+	}
+	if raw == "none" {
+		return nil, nil
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range strings.Split(raw, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("service %q listed twice", n)
+		}
+		seen[n] = true
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, errors.New("no services named (use -services none for install-only mode)")
+	}
+	return names, nil
+}
+
+// loadOrLearn resolves one template's repository: snapshot if
+// readable, fresh learning phase otherwise. A snapshot that exists
+// but fails to parse (torn write from a crash, manual corruption) is
+// set aside and re-learned from scratch rather than wedging the
+// daemon on start.
+func loadOrLearn(name, snapPath string, seed int64, workers int) (repo *core.Repository, learned bool, err error) {
+	if snapPath != "" {
+		if f, err := os.Open(snapPath); err == nil {
+			repo, err = core.LoadRepository(f)
+			f.Close()
+			if err != nil {
+				bad := snapPath + ".corrupt"
+				if rerr := os.Rename(snapPath, bad); rerr != nil {
+					return nil, false, fmt.Errorf("load snapshot %s: %w (and could not set it aside: %v)", snapPath, err, rerr)
+				}
+				log.Printf("dejavud: WARNING: snapshot %s is unreadable (%v); moved to %s, re-learning",
+					snapPath, err, bad)
+				repo = nil
+			} else {
+				log.Printf("dejavud: %s: loaded repository from %s (%d classes, %d entries)",
+					name, snapPath, repo.Classes(), repo.Len())
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, false, fmt.Errorf("open snapshot %s: %w", snapPath, err)
+		}
+	}
+	if repo != nil {
+		return repo, false, nil
+	}
+	svc, err := newService(name)
+	if err != nil {
+		return nil, false, err
+	}
+	log.Printf("dejavud: %s: no snapshot, learning from a synthetic day...", name)
+	repo, err = learnRepository(svc, seed, workers)
+	if err != nil {
+		return nil, false, err
+	}
+	return repo, true, nil
 }
 
 func run() error {
 	addr := flag.String("addr", ":7700", "listen address")
-	serviceName := flag.String("service", "cassandra", "service template: cassandra, specweb, or rubis")
-	snapshot := flag.String("snapshot", "dejavud-repo.json", "repository snapshot path (load on start, write on shutdown); empty disables persistence")
+	serviceName := flag.String("service", "cassandra", "single service template (compatibility alias for -services)")
+	servicesFlag := flag.String("services", "", `comma-separated service templates to serve (e.g. "cassandra,specweb"); "none" starts install-only`)
+	snapshot := flag.String("snapshot", "dejavud-repo.json", "repository snapshot path (load on start, write on shutdown); %s substitutes the template id; empty disables persistence")
 	seed := flag.Int64("seed", 42, "seed for learning and re-learning randomness")
 	workers := flag.Int("workers", 0, "clustering fan-out bound (0 = GOMAXPROCS)")
 	driftWindow := flag.Int("drift-window", 512, "decisions per drift observation window")
@@ -118,51 +200,32 @@ func run() error {
 	noRelearn := flag.Bool("no-relearn", false, "disable drift-triggered background re-learning")
 	flag.Parse()
 
-	svc, err := newService(*serviceName)
+	names, err := templateNames(*servicesFlag, *serviceName)
 	if err != nil {
 		return err
 	}
 
-	// Repository: snapshot if present, fresh learning phase otherwise.
-	// A snapshot that exists but fails to parse (torn write from a
-	// crash, manual corruption) is set aside and re-learned from
-	// scratch rather than wedging the daemon on start.
-	var repo *core.Repository
-	learned := false
-	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			repo, err = core.LoadRepository(f)
-			f.Close()
-			if err != nil {
-				bad := *snapshot + ".corrupt"
-				if rerr := os.Rename(*snapshot, bad); rerr != nil {
-					return fmt.Errorf("load snapshot %s: %w (and could not set it aside: %v)", *snapshot, err, rerr)
-				}
-				log.Printf("dejavud: WARNING: snapshot %s is unreadable (%v); moved to %s, re-learning",
-					*snapshot, err, bad)
-				repo = nil
-			} else {
-				log.Printf("dejavud: loaded repository from %s (%d classes, %d entries)",
-					*snapshot, repo.Classes(), repo.Len())
-			}
-		} else if !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("open snapshot %s: %w", *snapshot, err)
+	templates := make(map[string]*core.Handle, len(names))
+	anyLearned := false
+	for i, name := range names {
+		snapPath := ""
+		if *snapshot != "" {
+			snapPath = server.SnapshotPathFor(*snapshot, name, len(names) == 1)
 		}
-	}
-	if repo == nil {
-		log.Printf("dejavud: no snapshot, learning %s from a synthetic day...", svc.Name())
-		if repo, err = learnRepository(svc, *seed, *workers); err != nil {
+		repo, learned, err := loadOrLearn(name, snapPath, rng.Derive(*seed, i), *workers)
+		if err != nil {
 			return err
 		}
-		learned = true
+		anyLearned = anyLearned || learned
+		h, err := core.NewHandle(repo)
+		if err != nil {
+			return err
+		}
+		templates[name] = h
 	}
 
-	handle, err := core.NewHandle(repo)
-	if err != nil {
-		return err
-	}
 	cfg := server.Config{
-		Handle:       handle,
+		Templates:    templates,
 		SnapshotPath: *snapshot,
 		Drift: server.DriftConfig{
 			Window:    *driftWindow,
@@ -171,11 +234,20 @@ func run() error {
 		Logf: log.Printf,
 	}
 	if !*noRelearn {
-		relearnRound := 0
-		cfg.Relearn = func(events []metrics.Event, rows [][]float64) (*core.Repository, error) {
-			relearnRound++ // single-flight: no concurrent calls
+		// Per-template relearn rounds feed the derived-seed chain so
+		// repeated relearns (and relearns of different templates)
+		// consume independent random streams. Rounds are guarded by a
+		// mutex: relearns are single-flight per template but several
+		// templates can rebuild at once.
+		var mu sync.Mutex
+		rounds := map[string]int{}
+		cfg.Relearn = func(template string, events []metrics.Event, rows [][]float64) (*core.Repository, error) {
+			mu.Lock()
+			rounds[template]++
+			round := rounds[template]
+			mu.Unlock()
 			return core.RelearnFromSignatures(events, rows, core.OnlineRelearnConfig{
-				Rng:     rng.New(rng.Derive(*seed, relearnRound)),
+				Rng:     rng.New(rng.Derive(rng.Derive(*seed, round), int(templateSeed(template)))),
 				Workers: *workers,
 			})
 		}
@@ -185,20 +257,26 @@ func run() error {
 		return err
 	}
 
-	// Persist a fresh learning run right away: a non-graceful death
+	// Persist fresh learning runs right away: a non-graceful death
 	// later must not cost the whole learning phase again.
-	if learned && *snapshot != "" {
-		_, path, err := s.Snapshot()
+	if anyLearned && *snapshot != "" {
+		results, err := s.Snapshot()
 		if err != nil {
-			return fmt.Errorf("persist learned repository: %w", err)
+			return fmt.Errorf("persist learned repositories: %w", err)
 		}
-		log.Printf("dejavud: persisted learned repository to %s", path)
+		for _, r := range results {
+			log.Printf("dejavud: persisted template %s to %s", r.Template, r.Path)
+		}
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("dejavud: serving %s decisions on %s (version %d)", svc.Name(), *addr, handle.Version())
+		if len(names) == 0 {
+			log.Printf("dejavud: serving on %s with no templates — waiting for /v1/install", *addr)
+		} else {
+			log.Printf("dejavud: serving %s decisions on %s", strings.Join(names, ","), *addr)
+		}
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -220,13 +298,24 @@ func run() error {
 		log.Printf("dejavud: drain: %v", err)
 	}
 	if *snapshot != "" {
-		v, path, err := s.Snapshot()
+		results, err := s.Snapshot()
 		if err != nil {
 			return fmt.Errorf("shutdown snapshot: %w", err)
 		}
-		log.Printf("dejavud: snapshotted repository version %d to %s", v, path)
+		for _, r := range results {
+			log.Printf("dejavud: snapshotted template %s version %d to %s", r.Template, r.Version, r.Path)
+		}
 	}
 	return nil
+}
+
+// templateSeed folds a template id into a stable seed component.
+func templateSeed(name string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h = (h ^ int64(name[i])) * 1099511628211
+	}
+	return h
 }
 
 func main() {

@@ -43,3 +43,24 @@ func TestLearnRepository(t *testing.T) {
 		t.Errorf("repository has %d entries for %d classes", repo.Len(), repo.Classes())
 	}
 }
+
+// TestTemplateNames pins the -services/-service flag semantics: comma
+// lists, the single-service compatibility alias, install-only "none",
+// and duplicate rejection.
+func TestTemplateNames(t *testing.T) {
+	if names, err := templateNames("", "cassandra"); err != nil || len(names) != 1 || names[0] != "cassandra" {
+		t.Errorf("alias: %v %v", names, err)
+	}
+	if names, err := templateNames("cassandra, specweb", "ignored"); err != nil || len(names) != 2 || names[1] != "specweb" {
+		t.Errorf("list: %v %v", names, err)
+	}
+	if names, err := templateNames("none", "cassandra"); err != nil || names != nil {
+		t.Errorf("none: %v %v", names, err)
+	}
+	if _, err := templateNames("cassandra,cassandra", ""); err == nil {
+		t.Error("duplicate services must error")
+	}
+	if _, err := templateNames(",", ""); err == nil {
+		t.Error("empty list must error")
+	}
+}

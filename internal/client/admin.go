@@ -1,0 +1,122 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Control-plane calls. These are off the decision hot path and use
+// encoding/json over the same pooled transport.
+
+// postJSON sends a JSON body and decodes the JSON reply into out
+// (skipped when out is nil).
+func (c *Client) postJSON(path string, body any, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	cn, resp, err := c.roundTrip("POST", path, "application/json", payload)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		err = json.Unmarshal(resp, out)
+	}
+	c.release(cn, err == nil)
+	return err
+}
+
+// getJSON fetches path and decodes the JSON reply into out.
+func (c *Client) getJSON(path string, out any) error {
+	cn, resp, err := c.roundTrip("GET", path, "", nil)
+	if err != nil {
+		return err
+	}
+	err = json.Unmarshal(resp, out)
+	c.release(cn, err == nil)
+	return err
+}
+
+// Install publishes a learned repository under the template id:
+// POST /v1/install. The daemon creates the template or hot-swaps the
+// existing one (version increments); the returned version is the one
+// now serving.
+func (c *Client) Install(template string, repo *core.Repository) (uint64, error) {
+	var buf bytes.Buffer
+	if err := core.SaveRepository(repo, &buf); err != nil {
+		return 0, err
+	}
+	cn, resp, err := c.roundTrip("POST", "/v1/install?template="+url.QueryEscape(template),
+		"application/json", buf.Bytes())
+	if err != nil {
+		return 0, fmt.Errorf("client: install template %q: %w", template, err)
+	}
+	var out struct {
+		Version uint64 `json:"version"`
+	}
+	err = json.Unmarshal(resp, &out)
+	c.release(cn, err == nil)
+	if err != nil {
+		return 0, err
+	}
+	return out.Version, nil
+}
+
+// Stats is the client's view of one template's /v1/stats document
+// plus the server-wide counters the control plane cares about.
+type Stats struct {
+	Template     string  `json:"template"`
+	Version      uint64  `json:"version"`
+	Classes      int     `json:"classes"`
+	Entries      int     `json:"entries"`
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	HitRate      float64 `json:"hit_rate"`
+	Decisions    int64   `json:"decisions"`
+	Relearns     int64   `json:"relearns"`
+	RelearnFails int64   `json:"relearn_failures"`
+	Templates    int     `json:"templates"`
+	BadRequests  int64   `json:"bad_requests"`
+}
+
+// Stats fetches one template's statistics ("" = the daemon's default
+// template).
+func (c *Client) Stats(template string) (Stats, error) {
+	path := "/v1/stats"
+	if template != "" {
+		path += "?template=" + url.QueryEscape(template)
+	}
+	var st Stats
+	if err := c.getJSON(path, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// TemplateInfo is one entry of the daemon's template listing.
+type TemplateInfo struct {
+	Template string          `json:"template"`
+	Version  uint64          `json:"version"`
+	Classes  int             `json:"classes"`
+	Entries  int             `json:"entries"`
+	Events   []metrics.Event `json:"events"`
+}
+
+// Templates lists the daemon's installed templates.
+func (c *Client) Templates() ([]TemplateInfo, error) {
+	var infos []TemplateInfo
+	if err := c.getJSON("/v1/templates", &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Snapshot asks the daemon to persist every template now.
+func (c *Client) Snapshot() error {
+	return c.postJSON("/v1/snapshot", struct{}{}, nil)
+}

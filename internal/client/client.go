@@ -1,0 +1,521 @@
+// Package client is the dejavu decision-plane client library: the
+// one way commands and control planes talk to a dejavud daemon.
+// It owns a pool of persistent connections, speaks the shared wire
+// protocol (internal/wire) in either encoding, retries transport
+// failures with exponential backoff, and exposes each remote template
+// as a core.DecisionSource so the same controller code that drives an
+// in-process repository drives a remote daemon.
+//
+// The transport is a deliberately lean HTTP/1.1 implementation over
+// pooled TCP connections rather than net/http: the decision path's
+// request build, response framing, and wire decode all run in
+// caller-owned scratch, so a steady-state batched lookup performs
+// zero heap allocations end to end on the client side
+// (TestClientLookupZeroAlloc pins this against a canned-response
+// server). Control-plane calls (install, stats, templates, put, get)
+// use encoding/json — they are off the hot path.
+//
+// Optional batch coalescing merges concurrent single-signature
+// lookups into batched wire requests per (template, bucket), trading
+// a bounded queueing delay for fewer round trips — the right shape
+// for a fleet of controllers sharing one client.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config assembles a Client.
+type Config struct {
+	// Addr is the dejavud host:port; required.
+	Addr string
+	// Encoding selects the decision-path codec (default
+	// wire.EncodingBinary; the JSON compatibility path is for old
+	// daemons and debugging).
+	Encoding wire.Encoding
+	// MaxIdleConns bounds the connection pool (default 8). More
+	// concurrent requests than this still proceed — each dials its
+	// own connection — but only MaxIdleConns survive for reuse.
+	MaxIdleConns int
+	// Retries is how many times a transport failure is retried on a
+	// fresh connection (default 2). HTTP-level errors (4xx/5xx) are
+	// never retried.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt
+	// (default 10ms).
+	Backoff time.Duration
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one round trip (default 30s).
+	RequestTimeout time.Duration
+	// Coalesce enables batch coalescing on template sources created
+	// from this client (zero value disables it).
+	Coalesce CoalesceConfig
+}
+
+func (c *Config) defaults() error {
+	if c.Addr == "" {
+		return errors.New("client: Config.Addr must be set")
+	}
+	if c.MaxIdleConns <= 0 {
+		c.MaxIdleConns = 8
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return nil
+}
+
+// Client is a pooled dejavud client; safe for concurrent use.
+type Client struct {
+	cfg      Config
+	idle     chan *conn
+	payloads sync.Pool // *[]byte: decision payload encode scratch
+	closed   atomic.Bool
+
+	// retried counts transport-level retries, for telemetry/tests.
+	retried atomic.Int64
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status int
+	Body   string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: dejavud returned HTTP %d: %s", e.Status, e.Body)
+}
+
+// New validates the configuration and returns a client. No connection
+// is dialed until the first call.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg, idle: make(chan *conn, cfg.MaxIdleConns)}, nil
+}
+
+// Close drops the idle pool. In-flight requests finish on their own
+// connections.
+func (c *Client) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for {
+		select {
+		case cn := <-c.idle:
+			cn.nc.Close()
+		default:
+			return
+		}
+	}
+}
+
+// Retries reports how many transport-level retries the client has
+// performed.
+func (c *Client) Retries() int64 { return c.retried.Load() }
+
+// conn is one pooled connection plus its per-connection scratch: the
+// request build buffer and the response body buffer warm up to the
+// workload's message sizes and are reused for every request the
+// connection carries.
+type conn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	wbuf []byte // request head+payload build scratch
+	body []byte // response body scratch
+	// dead marks a connection the peer half closed (Connection:
+	// close): its body is still deliverable, but release must drop it
+	// instead of pooling a closed socket.
+	dead bool
+}
+
+func (c *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.cfg.Addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &conn{nc: nc, br: bufio.NewReaderSize(nc, 16<<10)}, nil
+}
+
+// get borrows a pooled connection or dials a fresh one.
+func (c *Client) get() (*conn, error) {
+	select {
+	case cn := <-c.idle:
+		return cn, nil
+	default:
+		return c.dial()
+	}
+}
+
+// release returns a healthy connection to the pool (closing it when
+// it is dead, the pool is full, or the client is closed).
+func (c *Client) release(cn *conn, healthy bool) {
+	if cn == nil {
+		return
+	}
+	if !healthy || cn.dead || c.closed.Load() {
+		cn.nc.Close()
+		return
+	}
+	select {
+	case c.idle <- cn:
+	default:
+		cn.nc.Close()
+	}
+}
+
+// roundTrip performs one HTTP exchange, retrying transport failures
+// on fresh connections with exponential backoff. On success the
+// returned conn holds the response body in its scratch; the caller
+// must parse body before calling release. A non-2xx status is
+// returned as *APIError with the connection already released —
+// HTTP-level errors are never retried.
+func (c *Client) roundTrip(method, path, contentType string, payload []byte) (*conn, []byte, error) {
+	var lastErr error
+	backoff := c.cfg.Backoff
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.retried.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		cn, err := c.get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		status, body, reusable, err := c.exchange(cn, method, path, contentType, payload)
+		if err != nil {
+			cn.nc.Close()
+			lastErr = err
+			continue
+		}
+		if status < 200 || status > 299 {
+			apiErr := &APIError{Status: status, Body: string(body)}
+			c.release(cn, reusable)
+			return nil, nil, apiErr
+		}
+		if !reusable {
+			// The caller still parses body (it lives in cn scratch);
+			// the dead mark keeps release from pooling the closed
+			// socket afterwards.
+			cn.nc.Close()
+			cn.dead = true
+		}
+		return cn, body, nil
+	}
+	return nil, nil, fmt.Errorf("client: %s %s failed after %d attempts: %w",
+		method, path, c.cfg.Retries+1, lastErr)
+}
+
+// exchange writes one request and reads one response on cn. The
+// returned body aliases cn.body; reusable reports whether the
+// connection may go back to the pool (false after Connection: close).
+func (c *Client) exchange(cn *conn, method, path, contentType string, payload []byte) (status int, body []byte, reusable bool, err error) {
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	if err := cn.nc.SetDeadline(deadline); err != nil {
+		return 0, nil, false, err
+	}
+
+	w := cn.wbuf[:0]
+	w = append(w, method...)
+	w = append(w, ' ')
+	w = append(w, path...)
+	w = append(w, " HTTP/1.1\r\nHost: "...)
+	w = append(w, c.cfg.Addr...)
+	if contentType != "" {
+		w = append(w, "\r\nContent-Type: "...)
+		w = append(w, contentType...)
+	}
+	w = append(w, "\r\nContent-Length: "...)
+	w = strconv.AppendInt(w, int64(len(payload)), 10)
+	w = append(w, "\r\n\r\n"...)
+	w = append(w, payload...)
+	cn.wbuf = w
+	if _, err := cn.nc.Write(w); err != nil {
+		return 0, nil, false, err
+	}
+
+	// Status line.
+	line, err := readLine(cn.br)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	status, ok := parseStatusLine(line)
+	if !ok {
+		return 0, nil, false, fmt.Errorf("client: malformed status line %q", line)
+	}
+
+	// Headers: Content-Length frames the body; chunked responses are
+	// decoded for robustness (the daemon sets Content-Length on every
+	// decision response, so the hot path never takes that branch).
+	contentLength := -1
+	chunked := false
+	connClose := false
+	for {
+		line, err := readLine(cn.br)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if len(line) == 0 {
+			break
+		}
+		if v, ok := headerValue(line, "content-length"); ok {
+			n, ok := atoiBytes(v)
+			if !ok {
+				return 0, nil, false, fmt.Errorf("client: bad Content-Length %q", v)
+			}
+			contentLength = n
+		} else if v, ok := headerValue(line, "transfer-encoding"); ok {
+			chunked = asciiEqualFold(v, "chunked")
+		} else if v, ok := headerValue(line, "connection"); ok {
+			connClose = asciiEqualFold(v, "close")
+		}
+	}
+
+	body = cn.body[:0]
+	switch {
+	case chunked:
+		if body, err = readChunked(cn.br, body); err != nil {
+			return 0, nil, false, err
+		}
+	case contentLength >= 0:
+		if cap(body) < contentLength {
+			body = make([]byte, 0, contentLength)
+		}
+		body = body[:contentLength]
+		if _, err := ioReadFull(cn.br, body); err != nil {
+			return 0, nil, false, err
+		}
+	default:
+		return 0, nil, false, errors.New("client: response without Content-Length or chunked framing")
+	}
+	cn.body = body
+	return status, body, !connClose, nil
+}
+
+// readLine reads one CRLF-terminated line, returning it without the
+// terminator. The slice aliases the bufio buffer — valid until the
+// next read.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	if n := len(line); n >= 2 && line[n-2] == '\r' {
+		return line[:n-2], nil
+	}
+	return line[:len(line)-1], nil
+}
+
+// parseStatusLine extracts the status code from "HTTP/1.1 200 OK".
+func parseStatusLine(line []byte) (int, bool) {
+	sp := -1
+	for i, c := range line {
+		if c == ' ' {
+			sp = i
+			break
+		}
+	}
+	if sp < 0 || len(line) < sp+4 {
+		return 0, false
+	}
+	code := 0
+	for _, c := range line[sp+1 : sp+4] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		code = code*10 + int(c-'0')
+	}
+	return code, true
+}
+
+// headerValue matches "Name: value" case-insensitively on the name,
+// returning the trimmed value.
+func headerValue(line []byte, lowerName string) ([]byte, bool) {
+	if len(line) < len(lowerName)+1 {
+		return nil, false
+	}
+	for i := 0; i < len(lowerName); i++ {
+		c := line[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lowerName[i] {
+			return nil, false
+		}
+	}
+	if line[len(lowerName)] != ':' {
+		return nil, false
+	}
+	v := line[len(lowerName)+1:]
+	for len(v) > 0 && (v[0] == ' ' || v[0] == '\t') {
+		v = v[1:]
+	}
+	for len(v) > 0 && (v[len(v)-1] == ' ' || v[len(v)-1] == '\t') {
+		v = v[:len(v)-1]
+	}
+	return v, true
+}
+
+// atoiBytes parses a non-negative decimal without allocating (the
+// strconv equivalents need a string).
+func atoiBytes(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func asciiEqualFold(b []byte, lower string) bool {
+	if len(b) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ioReadFull is io.ReadFull without the interface indirection cost on
+// the hot path (and without importing io for one call).
+func ioReadFull(br *bufio.Reader, dst []byte) (int, error) {
+	n := 0
+	for n < len(dst) {
+		m, err := br.Read(dst[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// readChunked decodes a chunked transfer-encoded body.
+func readChunked(br *bufio.Reader, dst []byte) ([]byte, error) {
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return dst, err
+		}
+		size := 0
+		for _, c := range line {
+			switch {
+			case '0' <= c && c <= '9':
+				size = size<<4 | int(c-'0')
+			case 'a' <= c && c <= 'f':
+				size = size<<4 | int(c-'a'+10)
+			case 'A' <= c && c <= 'F':
+				size = size<<4 | int(c-'A'+10)
+			case c == ';':
+				goto parsed // chunk extensions are ignored
+			default:
+				return dst, fmt.Errorf("client: bad chunk size %q", line)
+			}
+			if size > 1<<30 {
+				return dst, errors.New("client: chunk too large")
+			}
+		}
+	parsed:
+		if size == 0 {
+			// Trailer section: read to the blank line.
+			for {
+				line, err := readLine(br)
+				if err != nil {
+					return dst, err
+				}
+				if len(line) == 0 {
+					return dst, nil
+				}
+			}
+		}
+		start := len(dst)
+		for cap(dst) < start+size {
+			dst = append(dst[:cap(dst)], 0)
+		}
+		dst = dst[:start+size]
+		if _, err := ioReadFull(br, dst[start:]); err != nil {
+			return dst, err
+		}
+		if _, err := readLine(br); err != nil { // chunk CRLF
+			return dst, err
+		}
+	}
+}
+
+// Decide sends one decision batch and decodes the reply, both in the
+// client's configured encoding. req must carry the target template
+// (empty routes to the daemon's sole template). Transport failures
+// are retried on fresh connections with exponential backoff
+// (roundTrip owns that policy); HTTP-level rejections are returned as
+// *APIError without retry. The steady-state binary path performs zero
+// heap allocations once the payload pool and connection scratch have
+// warmed up (pinned by TestClientLookupZeroAlloc).
+func (c *Client) Decide(lookup bool, req *wire.Request, resp *wire.Response) error {
+	path := "/v1/classify"
+	if lookup {
+		path = "/v1/lookup"
+	}
+	bufp, _ := c.payloads.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	payload, err := req.Append(c.cfg.Encoding, (*bufp)[:0])
+	*bufp = payload
+	if err != nil {
+		c.payloads.Put(bufp)
+		return err // encoding errors are the caller's, never retried
+	}
+	cn, body, err := c.roundTrip("POST", path, c.cfg.Encoding.ContentType(), payload)
+	c.payloads.Put(bufp) // roundTrip has fully written (or abandoned) the payload
+	if err != nil {
+		return err
+	}
+	err = resp.Decode(c.cfg.Encoding, body)
+	c.release(cn, err == nil)
+	if err != nil {
+		return err
+	}
+	if len(resp.Results) != req.Rows() {
+		return fmt.Errorf("client: %d results for %d signatures", len(resp.Results), req.Rows())
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package client
+
+import (
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/services"
+	"repro/internal/wire"
+)
+
+// learnRepo learns a small Cassandra repository for client tests.
+func learnRepo(t testing.TB, seed int64) *core.Repository {
+	t.Helper()
+	svc := services.NewCassandra()
+	rng := rand.New(rand.NewSource(seed))
+	prof, err := core.NewProfiler(svc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := core.NewScaleOutTuner(svc, svc.MaxAllocation().Type, svc.MinInstances, svc.MaxInstances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workloads []services.Workload
+	for c := 100.0; c <= 460; c += 30 {
+		workloads = append(workloads, services.Workload{Clients: c, Mix: svc.DefaultMix()})
+	}
+	repo, _, err := core.Learn(core.LearnConfig{
+		Profiler: prof, Tuner: tuner, Workloads: workloads, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// foreseen profiles a signature the repository recognizes.
+func foreseen(t testing.TB, repo *core.Repository, seed int64, clients float64) []float64 {
+	t.Helper()
+	svc := services.NewCassandra()
+	prof, err := core.NewProfiler(svc, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := prof.Profile(services.Workload{Clients: clients, Mix: svc.DefaultMix()}, repo.EventsRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig.Values
+}
+
+// startDaemon serves a repository under the template name on a real
+// loopback listener, returning the daemon address.
+func startDaemon(t testing.TB, templates map[string]*core.Repository, cfg server.Config) (string, *server.Server) {
+	t.Helper()
+	cfg.Templates = map[string]*core.Handle{}
+	for name, repo := range templates {
+		h, err := core.NewHandle(repo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Templates[name] = h
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://"), s
+}
+
+func newClient(t testing.TB, addr string, enc wire.Encoding) *Client {
+	t.Helper()
+	c, err := New(Config{Addr: addr, Encoding: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestClientEndToEnd drives every client call against a live daemon
+// in both encodings: lookups (single and batched), classify, put/get,
+// install, stats, templates, snapshotless admin errors.
+func TestClientEndToEnd(t *testing.T) {
+	repo := learnRepo(t, 61)
+	addr, _ := startDaemon(t, map[string]*core.Repository{"cassandra": repo}, server.Config{})
+	vals := foreseen(t, repo, 62, 300)
+
+	for _, enc := range []wire.Encoding{wire.EncodingBinary, wire.EncodingJSON} {
+		c := newClient(t, addr, enc)
+		src, err := c.Source("cassandra", repo.EventsRef())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(src.Events()) != len(repo.EventsRef()) {
+			t.Fatal("events mismatch")
+		}
+
+		// Single lookup: the learned bucket-0 entry must hit.
+		sig := &core.Signature{Events: repo.EventsRef(), Values: vals}
+		res, err := src.Lookup(sig, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Hit || res.Unforeseen || res.Allocation.Count <= 0 {
+			t.Fatalf("enc %v: lookup: %+v", enc, res)
+		}
+		// And it matches the in-process decision bit for bit.
+		direct, err := repo.Lookup(sig, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != direct.Class || res.Certainty != direct.Certainty ||
+			res.Hit != direct.Hit || res.Allocation != direct.Allocation {
+			t.Fatalf("enc %v: remote %+v != in-process %+v", enc, res, direct)
+		}
+
+		// Batched decide.
+		var req wire.Request
+		var resp wire.Response
+		req.SetTemplate("cassandra")
+		for i := 0; i < 8; i++ {
+			req.AppendRow(vals)
+		}
+		if err := c.Decide(true, &req, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != 8 || !resp.Results[7].Hit {
+			t.Fatalf("enc %v: batch: %+v", enc, resp)
+		}
+		req.Reset()
+		req.SetTemplate("cassandra")
+		req.AppendRow(vals)
+		if err := c.Decide(false, &req, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Lookup || resp.Results[0].Hit {
+			t.Fatalf("enc %v: classify leaked lookup fields: %+v", enc, resp)
+		}
+
+		// Put → Get round trip.
+		if err := src.Put(0, 5, cloud.Allocation{Type: cloud.XLarge, Count: 3}); err != nil {
+			t.Fatal(err)
+		}
+		alloc, ok, err := src.Get(0, 5)
+		if err != nil || !ok || alloc.Count != 3 || alloc.Type.Name != "xlarge" {
+			t.Fatalf("enc %v: get: %+v %v %v", enc, alloc, ok, err)
+		}
+		if _, ok, err := src.Get(0, 15); err != nil || ok {
+			t.Fatalf("enc %v: get miss: %v %v", enc, ok, err)
+		}
+	}
+
+	c := newClient(t, addr, wire.EncodingBinary)
+
+	// Stats and templates.
+	st, err := c.Stats("cassandra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Template != "cassandra" || st.Decisions == 0 || st.Classes < 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	infos, err := c.Templates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Template != "cassandra" || len(infos[0].Events) == 0 {
+		t.Fatalf("templates: %+v", infos)
+	}
+
+	// Install a second template, then source it with fetched events.
+	repo2 := learnRepo(t, 63)
+	v, err := c.Install("cassandra-b", repo2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("install version %d, want 1", v)
+	}
+	src2, err := c.Source("cassandra-b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := src2.Lookup(&core.Signature{Events: repo2.EventsRef(), Values: foreseen(t, repo2, 64, 300)}, 0)
+	if err != nil || !res.Hit {
+		t.Fatalf("installed template lookup: %+v %v", res, err)
+	}
+	if _, err := c.Source("missing", nil); err == nil {
+		t.Fatal("sourcing an unknown template must fail")
+	}
+
+	// API errors surface status and body, and are not retried.
+	before := c.Retries()
+	var req wire.Request
+	var resp wire.Response
+	req.SetTemplate("nope")
+	req.AppendRow(vals)
+	err = c.Decide(true, &req, &resp)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != 400 || !strings.Contains(apiErr.Body, "nope") {
+		t.Fatalf("unknown template error: %v", err)
+	}
+	if c.Retries() != before {
+		t.Error("HTTP-level error must not be retried")
+	}
+}
+
+// TestClientRetryBackoff pins the transport retry: a flaky listener
+// that kills the first connection attempt mid-request is retried on a
+// fresh connection and the call succeeds.
+func TestClientRetryBackoff(t *testing.T) {
+	repo := learnRepo(t, 65)
+	addr, _ := startDaemon(t, map[string]*core.Repository{"cassandra": repo}, server.Config{})
+
+	// A proxy listener that severs the first N connections on first
+	// read, then pipes transparently.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	kills := 2
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			kill := kills > 0
+			if kill {
+				kills--
+			}
+			mu.Unlock()
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				n, err := conn.Read(buf)
+				if err != nil {
+					return
+				}
+				if kill {
+					return // sever after the request starts
+				}
+				up, err := net.Dial("tcp", addr)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				// Replay what we read, then pipe both ways.
+				if _, err := up.Write(buf[:n]); err != nil {
+					return
+				}
+				done := make(chan struct{}, 2)
+				go func() { _, _ = copyConn(up, conn); done <- struct{}{} }()
+				go func() { _, _ = copyConn(conn, up); done <- struct{}{} }()
+				<-done
+				<-done
+			}(conn)
+		}
+	}()
+
+	c, err := New(Config{Addr: ln.Addr().String(), Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	src, err := c.Source("cassandra", repo.EventsRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := foreseen(t, repo, 66, 300)
+	res, err := src.Lookup(&core.Signature{Events: repo.EventsRef(), Values: vals}, 0)
+	if err != nil {
+		t.Fatalf("lookup through flaky transport: %v", err)
+	}
+	if !res.Hit {
+		t.Fatalf("lookup: %+v", res)
+	}
+	if c.Retries() == 0 {
+		t.Error("expected at least one transport retry")
+	}
+}
+
+func copyConn(dst, src net.Conn) (int64, error) {
+	buf := make([]byte, 32<<10)
+	var total int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// TestClientCoalescing pins batch coalescing: concurrent single
+// lookups merge into fewer wire requests, every caller still gets its
+// own correct decision, and buckets never mix.
+func TestClientCoalescing(t *testing.T) {
+	repo := learnRepo(t, 67)
+	addr, srv := startDaemon(t, map[string]*core.Repository{"cassandra": repo}, server.Config{})
+	c, err := New(Config{
+		Addr:     addr,
+		Coalesce: CoalesceConfig{MaxBatch: 8, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	src, err := c.Source("cassandra", repo.EventsRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed a bucket-2 entry so bucket routing is observable.
+	if err := src.Put(0, 2, cloud.Allocation{Type: cloud.Large, Count: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	vals := foreseen(t, repo, 68, 300)
+	direct0, err := repo.Lookup(&core.Signature{Events: repo.EventsRef(), Values: vals}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 48
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	results := make([]core.LookupResult, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bucket := 0
+			if i%2 == 1 {
+				bucket = 2
+			}
+			sig := &core.Signature{Events: repo.EventsRef(), Values: vals}
+			results[i], errs[i] = src.Lookup(sig, bucket)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if i%2 == 0 {
+			if results[i] != direct0 {
+				t.Fatalf("caller %d (bucket 0): %+v != %+v", i, results[i], direct0)
+			}
+		} else if !results[i].Hit || results[i].Allocation.Count != 9 {
+			t.Fatalf("caller %d (bucket 2): %+v", i, results[i])
+		}
+	}
+
+	// Coalescing must have merged callers into far fewer requests.
+	st := srv.StatsSnapshot()
+	if st.LookupReqs >= callers {
+		t.Errorf("coalescing sent %d wire requests for %d lookups", st.LookupReqs, callers)
+	}
+	if st.Decisions != callers { // the comparison lookup was in-process
+		t.Errorf("decisions %d, want %d", st.Decisions, callers)
+	}
+}

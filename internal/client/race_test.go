@@ -1,0 +1,8 @@
+//go:build race
+
+package client
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which deliberately degrades sync.Pool caching (random
+// drops to expose races) and so distorts allocation counts.
+const raceEnabled = true

@@ -13,7 +13,12 @@ import (
 
 // ControllerConfig configures the runtime DejaVu controller.
 type ControllerConfig struct {
-	// Repository is the learned signature cache.
+	// Source is the decision plane the controller consults: an
+	// in-process repository handle or a remote dejavud client.
+	// Exactly one of Source and Repository must be set.
+	Source DecisionSource
+	// Repository is the learned signature cache — the historical
+	// in-process shape, wrapped into a DecisionSource internally.
 	Repository *Repository
 	// Profiler collects runtime signatures (~10 s each).
 	Profiler *Profiler
@@ -62,8 +67,9 @@ type ControllerConfig struct {
 // re-provision from the interference-keyed cache.
 type Controller struct {
 	cfg ControllerConfig
+	src DecisionSource
 
-	// sigEvents is the repository's signature tuple, fetched once so
+	// sigEvents is the decision source's signature tuple, fetched once so
 	// every profiling round reuses the same slice (which also keys the
 	// profiler's monitor cache); sigScratch is the reusable signature
 	// the fast path samples into — together they make the steady-state
@@ -85,8 +91,17 @@ type Controller struct {
 // NewController validates the configuration and returns a runtime
 // controller.
 func NewController(cfg ControllerConfig) (*Controller, error) {
-	if cfg.Repository == nil || cfg.Profiler == nil || cfg.Tuner == nil || cfg.Service == nil {
-		return nil, errors.New("core: controller needs Repository, Profiler, Tuner, and Service")
+	if cfg.Profiler == nil || cfg.Tuner == nil || cfg.Service == nil {
+		return nil, errors.New("core: controller needs Source (or Repository), Profiler, Tuner, and Service")
+	}
+	src := cfg.Source
+	if src == nil {
+		var err error
+		if src, err = SourceForRepository(cfg.Repository); err != nil {
+			return nil, errors.New("core: controller needs Source (or Repository), Profiler, Tuner, and Service")
+		}
+	} else if cfg.Repository != nil {
+		return nil, errors.New("core: set ControllerConfig.Source or Repository, not both")
 	}
 	if cfg.ProfileInterval <= 0 {
 		cfg.ProfileInterval = time.Hour
@@ -108,7 +123,8 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	}
 	return &Controller{
 		cfg:          cfg,
-		sigEvents:    cfg.Repository.EventsRef(),
+		src:          src,
+		sigEvents:    src.Events(),
 		lastProfile:  -1 << 62,
 		lastDecision: -1 << 62,
 		currentClass: -1,
@@ -162,7 +178,7 @@ func (c *Controller) profileAndReuse(obs *sim.Observation) (sim.Action, error) {
 		c.currentBucket = c.estimateBucket(obs)
 	}
 
-	res, err := c.cfg.Repository.Lookup(sig, c.currentBucket)
+	res, err := c.src.Lookup(sig, c.currentBucket)
 	if err != nil {
 		return sim.Action{}, err
 	}
@@ -205,10 +221,14 @@ func (c *Controller) handleInterference(obs *sim.Observation) (sim.Action, error
 	c.currentBucket = bucket
 	c.interferenceHit++
 
-	if alloc, ok := c.cfg.Repository.Get(c.currentClass, bucket); ok {
+	alloc, ok, err := c.src.Get(c.currentClass, bucket)
+	if err != nil {
+		return sim.Action{}, err
+	}
+	if ok {
 		return c.decide(obs, alloc, c.cfg.SignatureTime), nil
 	}
-	alloc, err := c.tuneAndStore(obs.Workload, c.currentClass, bucket)
+	alloc, err = c.tuneAndStore(obs.Workload, c.currentClass, bucket)
 	if err != nil {
 		return sim.Action{}, err
 	}
@@ -234,7 +254,7 @@ func (c *Controller) tuneAndStore(w services.Workload, class, bucket int) (cloud
 		return cloud.Allocation{}, fmt.Errorf("core: tuning class %d bucket %d: %w", class, bucket, err)
 	}
 	c.tuningCount++
-	if err := c.cfg.Repository.Put(class, bucket, alloc); err != nil {
+	if err := c.src.Put(class, bucket, alloc); err != nil {
 		return cloud.Allocation{}, err
 	}
 	return alloc, nil
@@ -281,10 +301,12 @@ func (c *Controller) NeedsRelearning() bool {
 // ReplaceRepository swaps in a freshly learned repository and resets
 // the staleness tracking; used by the Relearner after re-clustering.
 func (c *Controller) ReplaceRepository(repo *Repository) error {
-	if repo == nil {
-		return errors.New("core: nil repository")
+	src, err := SourceForRepository(repo)
+	if err != nil {
+		return err
 	}
 	c.cfg.Repository = repo
+	c.src = src
 	c.sigEvents = repo.EventsRef()
 	c.consecutiveUnforseen = 0
 	c.currentClass = -1

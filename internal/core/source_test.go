@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+// TestHandleDecisionSource pins that a Handle serves DecisionSource
+// calls from the live snapshot — including picking up a hot swap —
+// and that the repository adapter stays pinned to its value.
+func TestHandleDecisionSource(t *testing.T) {
+	repo := learnTestRepository(t, 51)
+	h, err := NewHandle(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src DecisionSource = h
+	if len(src.Events()) == 0 {
+		t.Fatal("no signature events")
+	}
+	if err := src.Put(0, 3, cloud.Allocation{Type: cloud.Large, Count: 4}); err != nil {
+		t.Fatal(err)
+	}
+	alloc, ok, err := src.Get(0, 3)
+	if err != nil || !ok || alloc.Count != 4 {
+		t.Fatalf("get: %v %v %v", alloc, ok, err)
+	}
+	if _, ok, _ := src.Get(0, 9); ok {
+		t.Fatal("unexpected hit on empty bucket")
+	}
+
+	// A swap is visible to the next source call.
+	repo2 := learnTestRepository(t, 52)
+	if _, err := h.Swap(repo2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := src.Get(0, 3); ok {
+		t.Fatal("entry survived the swap; source is not reading the live snapshot")
+	}
+
+	pinned, err := SourceForRepository(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := pinned.Get(0, 3); !ok {
+		t.Fatal("repository source must stay pinned to its repository")
+	}
+	if _, err := SourceForRepository(nil); err == nil {
+		t.Fatal("nil repository must not wrap")
+	}
+
+	// Lookup delegates with working classification.
+	sig := &Signature{Events: src.Events(), Values: make([]float64, len(src.Events()))}
+	if _, err := src.Lookup(sig, 0); err != nil {
+		t.Fatalf("lookup through handle: %v", err)
+	}
+}

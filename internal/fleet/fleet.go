@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -49,6 +50,14 @@ type Config struct {
 	// names, values pre-learned repositories (e.g. loaded with
 	// core.LoadRepository). Templates without an entry still learn.
 	SkipLearning map[string]*core.Repository
+	// Remote, when set, drives a live dejavud instead of in-process
+	// repositories: each template's learned repository is installed
+	// into the daemon under the service name, every controller
+	// decision (lookup/get/put) goes over the wire, and the group
+	// statistics are read back from the daemon. Learning (and the
+	// shared tuning cache) stays local — the daemon serves decisions,
+	// not profiling environments.
+	Remote *client.Client
 }
 
 // GroupStats reports one service template's shared-cache effectiveness.
@@ -151,6 +160,7 @@ func DefaultTuner(svc services.Service) (core.Tuner, error) {
 type group struct {
 	service services.Service
 	repo    *core.Repository
+	source  core.DecisionSource // repo (in-process) or a remote template
 	cache   *core.SharedTuningCache
 	classes int
 	vms     []int // indices into Config.Specs
@@ -212,6 +222,24 @@ func Run(cfg Config) (*Result, error) {
 	if err := errors.Join(learnErrs...); err != nil {
 		return nil, err
 	}
+
+	// Remote mode: publish each template's learning result into the
+	// daemon and route every runtime decision through the client
+	// library. The install is part of the learning bill — it is the
+	// fleet-wide "share what you learned" step.
+	if cfg.Remote != nil {
+		for _, g := range groupList {
+			name := g.service.Name()
+			if _, err := cfg.Remote.Install(name, g.repo); err != nil {
+				return nil, fmt.Errorf("fleet: installing template %s: %w", name, err)
+			}
+			src, err := cfg.Remote.Source(name, g.repo.EventsRef())
+			if err != nil {
+				return nil, fmt.Errorf("fleet: sourcing template %s: %w", name, err)
+			}
+			g.source = src
+		}
+	}
 	learningTime := time.Since(learnStart)
 
 	// Run phase: a worker pool drains the VM queue. Only the
@@ -263,18 +291,29 @@ func Run(cfg Config) (*Result, error) {
 		res.TotalSteps += len(vr.Records)
 	}
 	for name, g := range groups {
-		hits, misses := g.repo.LookupCounts()
-		res.Groups = append(res.Groups, GroupStats{
+		gs := GroupStats{
 			Service:     name,
 			VMs:         len(g.vms),
 			Classes:     g.classes,
-			RepoHitRate: g.repo.HitRate(),
-			RepoHits:    hits,
-			RepoMisses:  misses,
-			RepoEntries: g.repo.Len(),
 			TunerHits:   g.cache.Hits(),
 			TunerMisses: g.cache.Misses(),
-		})
+		}
+		if cfg.Remote != nil {
+			// The daemon owns the serving counters in remote mode.
+			st, err := cfg.Remote.Stats(name)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: stats for template %s: %w", name, err)
+			}
+			gs.RepoHits, gs.RepoMisses = st.Hits, st.Misses
+			gs.RepoHitRate = st.HitRate
+			gs.RepoEntries = st.Entries
+		} else {
+			hits, misses := g.repo.LookupCounts()
+			gs.RepoHits, gs.RepoMisses = hits, misses
+			gs.RepoHitRate = g.repo.HitRate()
+			gs.RepoEntries = g.repo.Len()
+		}
+		res.Groups = append(res.Groups, gs)
 	}
 	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Service < res.Groups[j].Service })
 	return res, nil
@@ -338,14 +377,19 @@ func runVM(cfg Config, spec sim.VMSpec, g *group, records []sim.StepRecord) (*si
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := core.NewController(core.ControllerConfig{
-		Repository:            g.repo,
+	ctlCfg := core.ControllerConfig{
 		Profiler:              prof,
 		Tuner:                 tuner,
 		Service:               spec.Service,
 		InterferenceDetection: cfg.InterferenceDetection,
 		OnDemandProfiling:     cfg.OnDemandProfiling,
-	})
+	}
+	if g.source != nil {
+		ctlCfg.Source = g.source
+	} else {
+		ctlCfg.Repository = g.repo
+	}
+	ctl, err := core.NewController(ctlCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,285 @@
+package proxy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// DecisionFront is the duplicating proxy lifted from the byte-stream
+// layer to the decision layer, built entirely on the unified protocol
+// stack: it accepts wire-protocol decision requests over HTTP in
+// either encoding, forwards them to an upstream dejavud through the
+// internal/client library (pooled connections, binary encoding,
+// retry/backoff), and re-encodes the reply in each caller's own
+// encoding. It keeps the paper's §3.2.1 duplicate-and-discard trick:
+// a sampled subset of decision batches is mirrored to a profiling
+// clone daemon on a bounded asynchronous queue whose replies are
+// dropped, so profiling a candidate repository build can never
+// backpressure production decisions.
+//
+// The front is the horizontal-scaling seam: old JSON-only clients
+// keep their encoding at the edge while every upstream hop speaks
+// binary, and replacing Upstream with a replica selector turns it
+// into a dejavud load balancer without touching clients.
+type DecisionFrontConfig struct {
+	// Upstream serves the real decisions; required.
+	Upstream *client.Client
+	// Clone, when set, receives mirrored decision batches; replies
+	// are dropped.
+	Clone *client.Client
+	// SampleEvery mirrors one in every N batches (default 1).
+	SampleEvery int
+	// CloneQueue bounds the mirror backlog in batches before drops
+	// (default 256).
+	CloneQueue int
+	// Logf receives operational log lines; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// DecisionFrontStats reports front activity. All counters cumulative.
+type DecisionFrontStats struct {
+	Batches     int64 `json:"batches"`
+	Decisions   int64 `json:"decisions"`
+	Errors      int64 `json:"errors"`
+	Mirrored    int64 `json:"mirrored_batches"`
+	MirrorDrops int64 `json:"mirror_drops"`
+	MirrorFails int64 `json:"mirror_failures"`
+}
+
+// mirrorJob is one cloned batch (owned copies — the request scratch
+// is pooled).
+type mirrorJob struct {
+	lookup   bool
+	template string
+	bucket   int
+	rows     []float64
+	width    int
+}
+
+// DecisionFront fronts a dejavud (or a replica of one) for many
+// clients. Create with NewDecisionFront, expose via Handler, Close
+// when done.
+type DecisionFront struct {
+	cfg  DecisionFrontConfig
+	mux  *http.ServeMux
+	pool sync.Pool // *frontScratch
+
+	batches     atomic.Int64
+	decisions   atomic.Int64
+	errorsN     atomic.Int64
+	mirrored    atomic.Int64
+	mirrorDrops atomic.Int64
+	mirrorFails atomic.Int64
+
+	mirrorCh  chan mirrorJob
+	mirrorWg  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// frontScratch is the pooled per-request state.
+type frontScratch struct {
+	body []byte
+	req  wire.Request
+	resp wire.Response
+	out  []byte
+}
+
+// NewDecisionFront validates the configuration and starts the mirror
+// drain (when a clone is configured).
+func NewDecisionFront(cfg DecisionFrontConfig) (*DecisionFront, error) {
+	if cfg.Upstream == nil {
+		return nil, errors.New("proxy: DecisionFrontConfig.Upstream must be set")
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.CloneQueue <= 0 {
+		cfg.CloneQueue = 256
+	}
+	f := &DecisionFront{cfg: cfg}
+	f.pool.New = func() any { return &frontScratch{} }
+	f.mux = http.NewServeMux()
+	f.mux.HandleFunc("/v1/classify", func(w http.ResponseWriter, r *http.Request) { f.handleDecision(w, r, false) })
+	f.mux.HandleFunc("/v1/lookup", func(w http.ResponseWriter, r *http.Request) { f.handleDecision(w, r, true) })
+	f.mux.HandleFunc("/v1/stats", f.handleStats)
+	if cfg.Clone != nil {
+		f.mirrorCh = make(chan mirrorJob, cfg.CloneQueue)
+		f.mirrorWg.Add(1)
+		go f.drainMirror()
+	}
+	return f, nil
+}
+
+// Handler returns the HTTP handler serving the front's endpoints.
+func (f *DecisionFront) Handler() http.Handler { return f.mux }
+
+// Close stops the mirror drain after its queue empties.
+func (f *DecisionFront) Close() {
+	f.closeOnce.Do(func() {
+		if f.mirrorCh != nil {
+			close(f.mirrorCh)
+			f.mirrorWg.Wait()
+		}
+	})
+}
+
+// Stats returns a snapshot of the activity counters.
+func (f *DecisionFront) Stats() DecisionFrontStats {
+	return DecisionFrontStats{
+		Batches:     f.batches.Load(),
+		Decisions:   f.decisions.Load(),
+		Errors:      f.errorsN.Load(),
+		Mirrored:    f.mirrored.Load(),
+		MirrorDrops: f.mirrorDrops.Load(),
+		MirrorFails: f.mirrorFails.Load(),
+	}
+}
+
+func (f *DecisionFront) fail(w http.ResponseWriter, status int, err error) {
+	f.errorsN.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleDecision decodes in the caller's encoding, forwards upstream
+// through the client library (which re-encodes in its own transport
+// encoding), and answers in the caller's encoding — the front is an
+// encoding-translating hop.
+func (f *DecisionFront) handleDecision(w http.ResponseWriter, r *http.Request, lookup bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		f.fail(w, http.StatusMethodNotAllowed, errors.New("proxy: method not allowed"))
+		return
+	}
+	enc := wire.EncodingForContentType(r.Header.Get("Content-Type"))
+	sc := f.pool.Get().(*frontScratch)
+	defer f.pool.Put(sc)
+	sc.body = sc.body[:0]
+	limited := io.LimitReader(r.Body, 8<<20)
+	for {
+		if len(sc.body) == cap(sc.body) {
+			sc.body = append(sc.body, 0)[:len(sc.body)]
+		}
+		n, rerr := limited.Read(sc.body[len(sc.body):cap(sc.body)])
+		sc.body = sc.body[:len(sc.body)+n]
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.fail(w, http.StatusBadRequest, rerr)
+			return
+		}
+	}
+	if err := sc.req.Decode(enc, sc.body); err != nil {
+		f.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// The JSON vocabulary permits ragged batches (the daemon rejects
+	// them against its repository width); the binary upstream hop
+	// cannot express them. Reject here as the client error it is —
+	// otherwise the encode failure inside the upstream call would
+	// surface as a 502.
+	if _, rect := sc.req.Rectangular(); !rect {
+		f.fail(w, http.StatusBadRequest, errors.New("proxy: signatures must all have the same width"))
+		return
+	}
+
+	n := f.batches.Add(1)
+	if f.mirrorCh != nil && (n-1)%int64(f.cfg.SampleEvery) == 0 {
+		f.mirror(&sc.req, lookup)
+	}
+
+	if err := f.cfg.Upstream.Decide(lookup, &sc.req, &sc.resp); err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			f.errorsN.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(apiErr.Status)
+			_, _ = io.WriteString(w, apiErr.Body)
+			return
+		}
+		f.fail(w, http.StatusBadGateway, err)
+		return
+	}
+	f.decisions.Add(int64(len(sc.resp.Results)))
+	sc.out = sc.resp.Append(enc, sc.out[:0])
+	h := w.Header()
+	h.Set("Content-Type", enc.ContentType())
+	h.Set("Content-Length", strconv.Itoa(len(sc.out)))
+	_, _ = w.Write(sc.out)
+}
+
+// mirror enqueues an owned copy of the batch for the clone; a full
+// queue drops the batch — profiling tolerates gaps, production
+// latency must not.
+func (f *DecisionFront) mirror(req *wire.Request, lookup bool) {
+	rows := req.Rows()
+	if rows == 0 {
+		return
+	}
+	width := len(req.Row(0))
+	job := mirrorJob{
+		lookup:   lookup,
+		template: string(req.Template),
+		bucket:   req.Bucket,
+		rows:     make([]float64, 0, rows*width),
+		width:    width,
+	}
+	for i := 0; i < rows; i++ {
+		job.rows = append(job.rows, req.Row(i)...)
+	}
+	select {
+	case f.mirrorCh <- job:
+	default:
+		f.mirrorDrops.Add(1)
+	}
+}
+
+// drainMirror forwards mirrored batches to the clone and drops the
+// replies.
+func (f *DecisionFront) drainMirror() {
+	defer f.mirrorWg.Done()
+	var req wire.Request
+	var resp wire.Response
+	for job := range f.mirrorCh {
+		req.Reset()
+		req.SetTemplate(job.template)
+		req.Bucket = job.bucket
+		for i := 0; i+job.width <= len(job.rows); i += job.width {
+			req.AppendRow(job.rows[i : i+job.width])
+		}
+		if err := f.cfg.Clone.Decide(job.lookup, &req, &resp); err != nil {
+			f.mirrorFails.Add(1)
+			if f.cfg.Logf != nil {
+				f.cfg.Logf("decision front: clone mirror failed: %v", err)
+			}
+			continue
+		}
+		f.mirrored.Add(1)
+	}
+}
+
+func (f *DecisionFront) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(f.Stats())
+}
+
+// String describes the front for logs.
+func (f *DecisionFront) String() string {
+	if f.cfg.Clone != nil {
+		return fmt.Sprintf("decision front (mirroring 1/%d batches)", f.cfg.SampleEvery)
+	}
+	return "decision front"
+}

@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // benchSetup builds a server plus a warmed scratch and request body
-// for the decision path.
-func benchSetup(b *testing.B, batch int) (*Server, *scratch, []byte) {
+// for the decision path in the given encoding.
+func benchSetup(b *testing.B, batch int, enc wire.Encoding) (*Server, *scratch) {
 	repo := testRepository(b, 12)
 	h, err := core.NewHandle(repo)
 	if err != nil {
@@ -20,19 +21,29 @@ func benchSetup(b *testing.B, batch int) (*Server, *scratch, []byte) {
 		b.Fatal(err)
 	}
 	vals := foreseenSignature(b, repo, 13, 300)
-	rows := make([]string, batch)
-	for i := range rows {
-		rows[i] = sigJSON(vals)
-	}
-	body := []byte(`{"bucket":0,"signatures":[` + strings.Join(rows, ",") + `]}`)
 	sc := s.pool.Get().(*scratch)
-	sc.body = append(sc.body[:0], body...)
-	return s, sc, body
+	sc.body = decisionBody(b, enc, vals, batch)
+	return s, sc
+}
+
+// decisionBody encodes a bucket-0 batch of identical signatures.
+func decisionBody(tb testing.TB, enc wire.Encoding, vals []float64, batch int) []byte {
+	tb.Helper()
+	var req wire.Request
+	for i := 0; i < batch; i++ {
+		req.AppendRow(vals)
+	}
+	body, err := req.Append(enc, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return body
 }
 
 // TestDecideZeroAlloc pins the ISSUE acceptance criterion: the
-// steady-state batched decision path (parse → classify/lookup →
-// encode) performs zero heap allocations per request.
+// steady-state batched decision path (parse → route → classify/lookup
+// → encode) performs zero heap allocations per request, in both the
+// JSON and the binary encoding.
 func TestDecideZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector degrades sync.Pool caching and distorts allocation counts; the CI bench job runs this gate without -race")
@@ -47,54 +58,61 @@ func TestDecideZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	vals := foreseenSignature(t, repo, 13, 300)
-	body := []byte(`{"bucket":0,"signatures":[` + sigJSON(vals) + `,` + sigJSON(vals) + `,` + sigJSON(vals) + `,` + sigJSON(vals) + `]}`)
-	sc := s.pool.Get().(*scratch)
-	sc.body = append(sc.body[:0], body...)
-	cur := s.handle.Current()
-
-	for _, mode := range []struct {
-		name   string
-		lookup bool
-	}{{"lookup", true}, {"classify", false}} {
-		// Warm the scratch buffers, then measure.
-		if _, err := s.decide(cur, sc, mode.lookup); err != nil {
-			t.Fatal(err)
-		}
-		allocs := testing.AllocsPerRun(200, func() {
-			if _, err := s.decide(cur, sc, mode.lookup); err != nil {
+	for _, enc := range []struct {
+		name string
+		enc  wire.Encoding
+	}{{"json", wire.EncodingJSON}, {"binary", wire.EncodingBinary}} {
+		sc := s.pool.Get().(*scratch)
+		sc.body = decisionBody(t, enc.enc, vals, 4)
+		for _, mode := range []struct {
+			name   string
+			lookup bool
+		}{{"lookup", true}, {"classify", false}} {
+			// Warm the scratch buffers, then measure.
+			if _, err := s.decide(enc.enc, sc, mode.lookup); err != nil {
 				t.Fatal(err)
 			}
-		})
-		if allocs != 0 {
-			t.Errorf("%s decision path allocates %.1f times per batch, want 0", mode.name, allocs)
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := s.decide(enc.enc, sc, mode.lookup); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s %s decision path allocates %.1f times per batch, want 0", enc.name, mode.name, allocs)
+			}
 		}
+		s.pool.Put(sc)
 	}
 }
 
 // BenchmarkDecide measures the raw decision path (no HTTP): one op is
-// one batched request. allocs/op must stay 0 — the serve bench gate
-// records it in BENCH_serve.json.
+// one batched request. allocs/op must stay 0 for both encodings — the
+// serve bench gate records throughput in BENCH_serve.json.
 func BenchmarkDecide(b *testing.B) {
 	for _, tc := range []struct {
 		name   string
 		batch  int
+		enc    wire.Encoding
 		lookup bool
 	}{
-		{"lookup/batch1", 1, true},
-		{"lookup/batch16", 16, true},
-		{"lookup/batch64", 64, true},
-		{"classify/batch16", 16, false},
+		{"lookup/batch1", 1, wire.EncodingJSON, true},
+		{"lookup/batch16", 16, wire.EncodingJSON, true},
+		{"lookup/batch64", 64, wire.EncodingJSON, true},
+		{"classify/batch16", 16, wire.EncodingJSON, false},
+		{"lookup-binary/batch1", 1, wire.EncodingBinary, true},
+		{"lookup-binary/batch16", 16, wire.EncodingBinary, true},
+		{"lookup-binary/batch64", 64, wire.EncodingBinary, true},
+		{"classify-binary/batch16", 16, wire.EncodingBinary, false},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			s, sc, _ := benchSetup(b, tc.batch)
-			cur := s.handle.Current()
-			if _, err := s.decide(cur, sc, tc.lookup); err != nil {
+			s, sc := benchSetup(b, tc.batch, tc.enc)
+			if _, err := s.decide(tc.enc, sc, tc.lookup); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.decide(cur, sc, tc.lookup); err != nil {
+				if _, err := s.decide(tc.enc, sc, tc.lookup); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -53,7 +53,7 @@ func TestKillRestartIdenticalDecisions(t *testing.T) {
 	}
 
 	// "Kill": graceful shutdown snapshots the repository.
-	if _, _, err := s1.Snapshot(); err != nil {
+	if _, err := s1.Snapshot(); err != nil {
 		t.Fatal(err)
 	}
 	ts1.Close()
@@ -90,7 +90,7 @@ func TestDriftRelearnUnderLiveLoad(t *testing.T) {
 	width := len(repo.EventsRef())
 
 	relearnStarted := make(chan struct{}, 1)
-	var relearn RelearnFunc = func(events []metrics.Event, rows [][]float64) (*core.Repository, error) {
+	var relearn RelearnFunc = func(_ string, events []metrics.Event, rows [][]float64) (*core.Repository, error) {
 		select {
 		case relearnStarted <- struct{}{}:
 		default:
@@ -136,7 +136,7 @@ func TestDriftRelearnUnderLiveLoad(t *testing.T) {
 		versionBumped  = make(chan struct{})
 		closeOnce      sync.Once
 		clientWg       sync.WaitGroup
-		initialVersion = s.handle.Current().Version
+		initialVersion = s.StatsSnapshot().Version
 	)
 	for g := 0; g < 4; g++ {
 		clientWg.Add(1)
@@ -173,7 +173,7 @@ func TestDriftRelearnUnderLiveLoad(t *testing.T) {
 	case <-time.After(20 * time.Second):
 		stop.Store(true)
 		clientWg.Wait()
-		t.Fatalf("new repository version never served (relearns=%d fails=%d)", s.Relearns(), s.relearnFails.Load())
+		t.Fatalf("new repository version never served (relearns=%d fails=%d)", s.Relearns(), s.StatsSnapshot().RelearnFails)
 	}
 	stop.Store(true)
 	clientWg.Wait()
@@ -184,7 +184,7 @@ func TestDriftRelearnUnderLiveLoad(t *testing.T) {
 	if duringRelearn.Load() == 0 {
 		t.Error("no requests were served while the relearn was in flight")
 	}
-	if got := s.handle.Current().Version; got < initialVersion+1 {
+	if got := s.StatsSnapshot().Version; got < initialVersion+1 {
 		t.Errorf("version %d, want > %d", got, initialVersion)
 	}
 	if s.Relearns() < 1 {

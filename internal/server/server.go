@@ -1,28 +1,42 @@
 // Package server is dejavud's decision service: the network-facing
-// layer that owns a learned signature repository behind a versioned
-// atomic handle, serves classify/lookup decisions over HTTP/JSON at
-// interactive-traffic timescales, and relearns in the background when
-// the online drift monitor sees too many unforeseen signatures.
+// layer that owns learned signature repositories behind versioned
+// atomic handles — one per service template — serves classify/lookup
+// decisions over the shared wire protocol (internal/wire) at
+// interactive-traffic timescales, and relearns a template in the
+// background when its online drift monitor sees too many unforeseen
+// signatures.
 //
 // Design constraints, in order:
 //
-//   - The steady-state decision path (decode → classify/lookup →
-//     encode) performs zero heap allocations: pooled request scratch,
-//     a hand-rolled JSON codec for the tiny decision vocabulary, and
-//     the repository's own pooled classify scratch (PR 2).
-//   - Readers never block on learning. The repository lives behind a
+//   - The steady-state decision path (decode → route → classify/lookup
+//     → encode) performs zero heap allocations: pooled request
+//     scratch, the wire package's allocation-free JSON and binary
+//     codecs, a copy-on-write template table read with one atomic
+//     load, and the repository's own pooled classify scratch (PR 2).
+//   - The encoding is negotiated per request via Content-Type:
+//     application/json (compatibility) or application/x-dejavu-batch
+//     (binary columnar). The response mirrors the request's encoding.
+//   - Requests route by template id — the wire header's template
+//     field — so one daemon serves many service templates with
+//     independent snapshots, drift monitors, and relearn
+//     single-flights. An empty template id routes to the sole
+//     template, or to the one named "default".
+//   - Readers never block on learning. Each repository lives behind a
 //     core.Handle; a drift-triggered relearn builds the replacement
-//     completely off the request path (clustering fans out on the
-//     shared internal/parallel pool) and publishes it with one atomic
-//     pointer store. In-flight requests finish on the snapshot they
-//     started with.
-//   - The repository outlives the process: load-on-start plus
+//     completely off the request path and publishes it with one
+//     atomic pointer store. In-flight requests finish on the snapshot
+//     they started with.
+//   - Repositories outlive the process: load-on-start plus
 //     snapshot-on-shutdown (and POST /v1/snapshot any time) via
-//     core.SaveRepository/LoadRepository.
+//     core.SaveRepository/LoadRepository, one file per template. A
+//     remote control plane can also POST /v1/install to publish a
+//     freshly learned repository into a running daemon — the fleet's
+//     remote mode uses this to ship each template's learning result.
 //
 // Endpoints: POST /v1/classify, POST /v1/lookup (single "signature"
-// or batched "signatures"), POST /v1/put, GET /v1/stats, GET /metrics
-// (Prometheus text format), POST /v1/snapshot.
+// or batched "signatures"), POST /v1/put, POST /v1/get,
+// POST /v1/install, GET /v1/stats[?template=x], GET /v1/templates,
+// GET /metrics (Prometheus text format), POST /v1/snapshot.
 package server
 
 import (
@@ -33,7 +47,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,24 +58,41 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/wire"
 )
 
-// RelearnFunc rebuilds a repository from recently observed signature
-// rows. It runs on a background goroutine, at most one at a time.
-type RelearnFunc func(events []metrics.Event, rows [][]float64) (*core.Repository, error)
+// DefaultTemplate is the template id a single-template Config.Handle
+// registers under, and the id an empty wire template field resolves
+// to when a template of this name exists.
+const DefaultTemplate = "default"
+
+// RelearnFunc rebuilds one template's repository from recently
+// observed signature rows. It runs on a background goroutine, at most
+// one at a time per template.
+type RelearnFunc func(template string, events []metrics.Event, rows [][]float64) (*core.Repository, error)
 
 // Config assembles a Server.
 type Config struct {
-	// Handle owns the versioned repository; required.
+	// Handle, when set, registers a single template under
+	// DefaultTemplate — the one-service deployment shape.
 	Handle *core.Handle
-	// Drift tunes the online drift monitor.
+	// Templates is the initial multi-template set (template id →
+	// versioned handle). May be combined with Handle; may be empty,
+	// in which case the daemon starts install-only.
+	Templates map[string]*core.Handle
+	// Drift tunes the online drift monitor (shared by every
+	// template; each template gets its own monitor instance).
 	Drift DriftConfig
-	// Relearn, when set, is invoked (single-flight) whenever a drift
-	// window crosses the threshold; the returned repository is
-	// swapped in. Nil disables online re-learning.
+	// Relearn, when set, is invoked (single-flight per template)
+	// whenever a template's drift window crosses the threshold; the
+	// returned repository is swapped in. Nil disables online
+	// re-learning.
 	Relearn RelearnFunc
-	// SnapshotPath is where /v1/snapshot and Snapshot() persist the
-	// repository; empty disables snapshots.
+	// SnapshotPath is where /v1/snapshot and Snapshot() persist
+	// repositories; empty disables snapshots. A "%s" is substituted
+	// with the template id; without one, a multi-template server
+	// derives "<base>-<template><ext>" (the sole template of a
+	// single-template server uses the path verbatim).
 	SnapshotPath string
 	// MaxBodyBytes bounds a decision request body (default 8 MiB).
 	MaxBodyBytes int64
@@ -67,53 +100,109 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// scratch is the pooled per-request state of the decision path.
-type scratch struct {
-	body []byte
-	req  decisionRequest
-	resp []byte
-	sig  core.Signature
-}
-
-// Server implements the decision service over a swap-safe repository
-// handle. Create with New, expose via Handler.
-type Server struct {
-	cfg    Config
+// template is one service template's serving state.
+type template struct {
+	name   string
 	handle *core.Handle
 	drift  *driftMonitor
 	ring   *signatureRing
 	flight parallel.SingleFlight
-	pool   sync.Pool
-	mux    *http.ServeMux
-	start  time.Time
+
+	relearns     atomic.Int64
+	relearnFails atomic.Int64
+}
+
+// templateSet is the immutable routing table; installs publish a new
+// copy, the decision path reads it with one atomic load.
+type templateSet struct {
+	byName map[string]*template
+	names  []string // sorted
+	// def resolves an empty template id: the sole template, else the
+	// one named DefaultTemplate, else nil.
+	def *template
+}
+
+func (ts *templateSet) resolve(name []byte) (*template, error) {
+	if len(name) == 0 {
+		if ts.def == nil {
+			if len(ts.byName) == 0 {
+				return nil, errors.New("server: no templates installed")
+			}
+			return nil, fmt.Errorf("server: request names no template and the server serves %d", len(ts.byName))
+		}
+		return ts.def, nil
+	}
+	if t, ok := ts.byName[string(name)]; ok { // no []byte->string alloc in a map index
+		return t, nil
+	}
+	return nil, fmt.Errorf("server: unknown template %q", name)
+}
+
+// scratch is the pooled per-request state of the decision path.
+type scratch struct {
+	body []byte
+	req  wire.Request
+	resp wire.Response
+	out  []byte
+	sig  core.Signature
+}
+
+// Server implements the decision service over swap-safe repository
+// handles. Create with New, expose via Handler.
+type Server struct {
+	cfg       Config
+	templates atomic.Pointer[templateSet]
+	installMu sync.Mutex // serializes installs (copy-on-write above)
+	pool      sync.Pool
+	mux       *http.ServeMux
+	start     time.Time
+	// verbatimTemplate is the template whose snapshot file is the
+	// configured path verbatim: the sole template at construction
+	// time. Frozen then — a runtime install must not silently move an
+	// existing template's snapshot file, or the next start (which
+	// derives paths from its own initial template set) would resume
+	// from a stale file.
+	verbatimTemplate string
 
 	classifyReqs atomic.Int64
 	lookupReqs   atomic.Int64
 	putReqs      atomic.Int64
+	getReqs      atomic.Int64
+	installs     atomic.Int64
 	badRequests  atomic.Int64
-	relearns     atomic.Int64
-	relearnFails atomic.Int64
 	snapshots    atomic.Int64
 	snapshotMu   sync.Mutex
 }
 
 // New validates the configuration and assembles the service.
 func New(cfg Config) (*Server, error) {
-	if cfg.Handle == nil {
-		return nil, errors.New("server: Config.Handle must be set")
-	}
 	cfg.Drift.defaults()
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
-	width := len(cfg.Handle.Current().Repo.EventsRef())
-	s := &Server{
-		cfg:    cfg,
-		handle: cfg.Handle,
-		drift:  newDriftMonitor(cfg.Drift),
-		ring:   newSignatureRing(cfg.Drift.RecentCapacity, width, cfg.Drift.SampleStride),
-		start:  time.Now(),
+	s := &Server{cfg: cfg, start: time.Now()}
+	set := &templateSet{byName: map[string]*template{}}
+	if cfg.Handle != nil {
+		set.byName[DefaultTemplate] = s.newTemplate(DefaultTemplate, cfg.Handle)
 	}
+	for name, h := range cfg.Templates {
+		if name == "" {
+			return nil, errors.New("server: template id must not be empty")
+		}
+		if h == nil {
+			return nil, fmt.Errorf("server: template %q has a nil handle", name)
+		}
+		if _, dup := set.byName[name]; dup {
+			return nil, fmt.Errorf("server: template %q configured twice", name)
+		}
+		set.byName[name] = s.newTemplate(name, h)
+	}
+	if len(set.byName) == 1 {
+		for name := range set.byName {
+			s.verbatimTemplate = name
+		}
+	}
+	s.templates.Store(set.finish())
 	s.pool.New = func() any { return &scratch{} }
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/classify", s.methodGuard(http.MethodPost, func(w http.ResponseWriter, r *http.Request) {
@@ -125,10 +214,40 @@ func New(cfg Config) (*Server, error) {
 		s.handleDecision(w, r, true)
 	}))
 	s.mux.HandleFunc("/v1/put", s.methodGuard(http.MethodPost, s.handlePut))
+	s.mux.HandleFunc("/v1/get", s.methodGuard(http.MethodPost, s.handleGet))
+	s.mux.HandleFunc("/v1/install", s.methodGuard(http.MethodPost, s.handleInstall))
 	s.mux.HandleFunc("/v1/stats", s.methodGuard(http.MethodGet, s.handleStats))
+	s.mux.HandleFunc("/v1/templates", s.methodGuard(http.MethodGet, s.handleTemplates))
 	s.mux.HandleFunc("/metrics", s.methodGuard(http.MethodGet, s.handleMetrics))
 	s.mux.HandleFunc("/v1/snapshot", s.methodGuard(http.MethodPost, s.handleSnapshot))
 	return s, nil
+}
+
+// newTemplate assembles the serving state around a handle.
+func (s *Server) newTemplate(name string, h *core.Handle) *template {
+	width := len(h.Current().Repo.EventsRef())
+	return &template{
+		name:   name,
+		handle: h,
+		drift:  newDriftMonitor(s.cfg.Drift),
+		ring:   newSignatureRing(s.cfg.Drift.RecentCapacity, width, s.cfg.Drift.SampleStride),
+	}
+}
+
+// finish derives the lookup aids from byName.
+func (ts *templateSet) finish() *templateSet {
+	ts.names = ts.names[:0]
+	for name := range ts.byName {
+		ts.names = append(ts.names, name)
+	}
+	sort.Strings(ts.names)
+	switch {
+	case len(ts.byName) == 1:
+		ts.def = ts.byName[ts.names[0]]
+	default:
+		ts.def = ts.byName[DefaultTemplate]
+	}
+	return ts
 }
 
 // Handler returns the HTTP handler serving every endpoint.
@@ -192,6 +311,7 @@ func readBody(r *http.Request, buf []byte, limit int64) ([]byte, error) {
 // handleDecision is the hot-path HTTP adapter: everything between
 // body-read and response-write is the allocation-free decide().
 func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, lookup bool) {
+	enc := wire.EncodingForContentType(r.Header.Get("Content-Type"))
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 	var err error
@@ -200,24 +320,36 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, lookup b
 		s.badRequest(w, err)
 		return
 	}
-	out, err := s.decide(s.handle.Current(), sc, lookup)
+	out, err := s.decide(enc, sc, lookup)
 	if err != nil {
 		s.badRequest(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	h := w.Header()
+	h.Set("Content-Type", enc.ContentType())
+	// An explicit Content-Length keeps large batches out of chunked
+	// encoding, so lean clients can frame responses without a chunked
+	// decoder. (Itoa's small alloc sits outside the pinned decide()
+	// path, alongside net/http's own per-request costs.)
+	h.Set("Content-Length", strconv.Itoa(len(out)))
 	_, _ = w.Write(out)
 }
 
-// decide parses sc.body and encodes one decision per signature into
-// sc.resp, serving the whole batch from the single repository
-// snapshot cur. This is the steady-state decision path: it performs
-// zero heap allocations once the scratch buffers have warmed up
-// (benchmark-pinned by BenchmarkDecide).
-func (s *Server) decide(cur *core.VersionedRepository, sc *scratch, lookup bool) ([]byte, error) {
-	if err := parseDecisionRequest(sc.body, &sc.req); err != nil {
+// decide parses sc.body, routes it to a template, and serves one
+// decision per signature from a single repository snapshot, encoding
+// the response in the request's own encoding. This is the
+// steady-state decision path: it performs zero heap allocations once
+// the scratch buffers have warmed up (pinned by TestDecideZeroAlloc
+// for both encodings).
+func (s *Server) decide(enc wire.Encoding, sc *scratch, lookup bool) ([]byte, error) {
+	if err := sc.req.Decode(enc, sc.body); err != nil {
 		return nil, err
 	}
+	tpl, err := s.templates.Load().resolve(sc.req.Template)
+	if err != nil {
+		return nil, err
+	}
+	cur := tpl.handle.Current()
 	repo := cur.Repo
 	events := repo.EventsRef()
 	// Validate the whole batch before serving any of it: a request
@@ -225,110 +357,108 @@ func (s *Server) decide(cur *core.VersionedRepository, sc *scratch, lookup bool)
 	// relearn signature ring (junk prefix rows of repeatedly rejected
 	// batches could otherwise close a drift window and relearn on
 	// garbage).
-	for i := 0; i < sc.req.rows(); i++ {
-		if n := len(sc.req.row(i)); n != len(events) {
-			return nil, fmt.Errorf("server: signature %d has %d values, repository expects %d", i, n, len(events))
+	for i := 0; i < sc.req.Rows(); i++ {
+		if n := len(sc.req.Row(i)); n != len(events) {
+			return nil, fmt.Errorf("server: signature %d has %d values, template %q expects %d",
+				i, n, tpl.name, len(events))
 		}
 	}
-	resp := append(sc.resp[:0], `{"version":`...)
-	resp = strconv.AppendUint(resp, cur.Version, 10)
-	resp = append(resp, `,"results":[`...)
+	sc.resp.Reset()
+	sc.resp.Version = cur.Version
+	sc.resp.Lookup = lookup
 	sig := &sc.sig
 	sig.Events = events
-	for i := 0; i < sc.req.rows(); i++ {
-		row := sc.req.row(i)
+	for i := 0; i < sc.req.Rows(); i++ {
+		row := sc.req.Row(i)
 		sig.Values = row
-		if i > 0 {
-			resp = append(resp, ',')
-		}
-		var unforeseen bool
+		var d wire.Decision
 		if lookup {
-			res, err := repo.Lookup(sig, sc.req.bucket)
+			res, err := repo.Lookup(sig, sc.req.Bucket)
 			if err != nil {
 				return nil, err
 			}
-			unforeseen = res.Unforeseen
-			resp = appendLookupResult(resp, &res)
+			d = wire.Decision{
+				Class:      res.Class,
+				Certainty:  res.Certainty,
+				Unforeseen: res.Unforeseen,
+				Hit:        res.Hit,
+			}
+			if res.Hit {
+				d.Type = res.Allocation.Type.ID()
+				d.Count = res.Allocation.Count
+			}
 		} else {
 			class, certainty, unf, err := repo.Classify(sig)
 			if err != nil {
 				return nil, err
 			}
-			unforeseen = unf
-			resp = appendDecision(resp, class, certainty, unf)
-			resp = append(resp, '}')
+			d = wire.Decision{Class: class, Certainty: certainty, Unforeseen: unf}
 		}
-		s.ring.observe(row, unforeseen)
-		if s.drift.observe(unforeseen) {
-			s.triggerRelearn()
+		sc.resp.Results = append(sc.resp.Results, d)
+		tpl.ring.observe(row, d.Unforeseen)
+		if tpl.drift.observe(d.Unforeseen) {
+			s.triggerRelearn(tpl)
 		}
 	}
-	resp = append(resp, ']', '}')
-	sc.resp = resp
-	return resp, nil
+	sc.out = sc.resp.Append(enc, sc.out[:0])
+	return sc.out, nil
 }
 
-// appendDecision encodes the shared classify fields, leaving the
-// object open for lookup extras.
-func appendDecision(resp []byte, class int, certainty float64, unforeseen bool) []byte {
-	resp = append(resp, `{"class":`...)
-	resp = strconv.AppendInt(resp, int64(class), 10)
-	resp = append(resp, `,"certainty":`...)
-	resp = strconv.AppendFloat(resp, certainty, 'g', -1, 64)
-	resp = append(resp, `,"unforeseen":`...)
-	resp = strconv.AppendBool(resp, unforeseen)
-	return resp
-}
-
-func appendLookupResult(resp []byte, res *core.LookupResult) []byte {
-	resp = appendDecision(resp, res.Class, res.Certainty, res.Unforeseen)
-	resp = append(resp, `,"hit":`...)
-	resp = strconv.AppendBool(resp, res.Hit)
-	if res.Hit {
-		resp = append(resp, `,"type":"`...)
-		resp = append(resp, res.Allocation.Type.Name...)
-		resp = append(resp, `","count":`...)
-		resp = strconv.AppendInt(resp, int64(res.Allocation.Count), 10)
-	}
-	return append(resp, '}')
-}
-
-// triggerRelearn launches the background rebuild unless one is
-// already in flight. The decision path only pays for this call when a
-// drift window actually closes over threshold.
-func (s *Server) triggerRelearn() {
+// triggerRelearn launches the template's background rebuild unless
+// one is already in flight. The decision path only pays for this call
+// when a drift window actually closes over threshold.
+func (s *Server) triggerRelearn(tpl *template) {
 	if s.cfg.Relearn == nil {
 		return
 	}
-	s.flight.TryGo(func() {
-		rows := s.ring.snapshot()
+	tpl.flight.TryGo(func() {
+		rows := tpl.ring.snapshot()
 		if len(rows) < s.cfg.Drift.MinRelearnRows {
 			return
 		}
-		cur := s.handle.Current()
-		repo, err := s.cfg.Relearn(cur.Repo.EventsRef(), rows)
+		cur := tpl.handle.Current()
+		repo, err := s.cfg.Relearn(tpl.name, cur.Repo.EventsRef(), rows)
 		if err != nil {
-			s.relearnFails.Add(1)
-			s.logf("dejavud: relearn failed: %v", err)
+			tpl.relearnFails.Add(1)
+			s.logf("dejavud: template %s: relearn failed: %v", tpl.name, err)
 			return
 		}
-		v, err := s.handle.Swap(repo)
-		if err != nil {
-			s.relearnFails.Add(1)
+		// Publish under the install mutex, and only if this template
+		// entry is still the live one: a concurrent /v1/install
+		// replaced both the repository and the drift state, so a
+		// rebuild clustered from the pre-install signature ring must
+		// be discarded, not swapped over the operator's fresh install
+		// (the handle is shared between the old and new entries).
+		s.installMu.Lock()
+		if s.templates.Load().byName[tpl.name] != tpl {
+			s.installMu.Unlock()
+			s.logf("dejavud: template %s: discarding drift relearn superseded by an install", tpl.name)
 			return
 		}
-		s.relearns.Add(1)
-		s.logf("dejavud: drift relearn swapped in version %d (%d classes from %d signatures)",
-			v, repo.Classes(), len(rows))
+		v, err := tpl.handle.Swap(repo)
+		s.installMu.Unlock()
+		if err != nil {
+			tpl.relearnFails.Add(1)
+			return
+		}
+		tpl.relearns.Add(1)
+		s.logf("dejavud: template %s: drift relearn swapped in version %d (%d classes from %d signatures)",
+			tpl.name, v, repo.Classes(), len(rows))
 	})
+}
+
+// resolveTemplateName routes a control-endpoint template string.
+func (s *Server) resolveTemplateName(name string) (*template, error) {
+	return s.templates.Load().resolve([]byte(name))
 }
 
 // putRequest is the /v1/put body.
 type putRequest struct {
-	Class  int    `json:"class"`
-	Bucket int    `json:"bucket"`
-	Type   string `json:"type"`
-	Count  int    `json:"count"`
+	Template string `json:"template"`
+	Class    int    `json:"class"`
+	Bucket   int    `json:"bucket"`
+	Type     string `json:"type"`
+	Count    int    `json:"count"`
 }
 
 // handlePut stores a tuned allocation — the client side of the DejaVu
@@ -340,12 +470,17 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Errorf("server: decode put: %w", err))
 		return
 	}
+	tpl, err := s.resolveTemplateName(req.Template)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
 	typ, err := cloud.TypeByName(req.Type)
 	if err != nil {
 		s.badRequest(w, err)
 		return
 	}
-	cur := s.handle.Current()
+	cur := tpl.handle.Current()
 	if err := cur.Repo.Put(req.Class, req.Bucket, cloud.Allocation{Type: typ, Count: req.Count}); err != nil {
 		s.badRequest(w, err)
 		return
@@ -354,8 +489,111 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, `{"version":%d,"entries":%d}`+"\n", cur.Version, cur.Repo.Len())
 }
 
-// Stats is the /v1/stats document.
-type Stats struct {
+// getRequest is the /v1/get body: fetch a cached allocation by
+// (class, bucket) without classification — the controller's
+// interference path.
+type getRequest struct {
+	Template string `json:"template"`
+	Class    int    `json:"class"`
+	Bucket   int    `json:"bucket"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.getReqs.Add(1)
+	var req getRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("server: decode get: %w", err))
+		return
+	}
+	tpl, err := s.resolveTemplateName(req.Template)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	cur := tpl.handle.Current()
+	alloc, ok := cur.Repo.Get(req.Class, req.Bucket)
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		fmt.Fprintf(w, `{"version":%d,"hit":false}`+"\n", cur.Version)
+		return
+	}
+	fmt.Fprintf(w, `{"version":%d,"hit":true,"type":%q,"count":%d}`+"\n", cur.Version, alloc.Type.Name, alloc.Count)
+}
+
+// handleInstall publishes a repository for ?template=NAME from a
+// serialized core.SaveRepository body: the remote control plane's way
+// to ship a learning result into a running daemon. Installing over an
+// existing template swaps (version increments, in-flight readers
+// finish on their snapshot); a new name creates the template.
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("template")
+	if name == "" {
+		s.badRequest(w, errors.New("server: install needs ?template=NAME"))
+		return
+	}
+	if len(name) > 256 || strings.ContainsAny(name, "/\\%\x00") {
+		s.badRequest(w, fmt.Errorf("server: invalid template id %q", name))
+		return
+	}
+	repo, err := core.LoadRepository(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	version, err := s.install(name, repo)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.installs.Add(1)
+	s.logf("dejavud: installed template %s version %d (%d classes, %d entries)",
+		name, version, repo.Classes(), repo.Len())
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"template":%q,"version":%d,"classes":%d,"entries":%d}`+"\n",
+		name, version, repo.Classes(), repo.Len())
+}
+
+// install publishes repo under the template id, creating or swapping.
+func (s *Server) install(name string, repo *core.Repository) (uint64, error) {
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	old := s.templates.Load()
+	next := &templateSet{byName: make(map[string]*template, len(old.byName)+1)}
+	for n, t := range old.byName {
+		next.byName[n] = t
+	}
+	var version uint64
+	if existing, ok := old.byName[name]; ok {
+		v, err := existing.handle.Swap(repo)
+		if err != nil {
+			return 0, err
+		}
+		version = v
+		// The drift state described the replaced repository (and the
+		// ring's row width may no longer match): start fresh.
+		next.byName[name] = &template{
+			name:   name,
+			handle: existing.handle,
+			drift:  newDriftMonitor(s.cfg.Drift),
+			ring:   newSignatureRing(s.cfg.Drift.RecentCapacity, len(repo.EventsRef()), s.cfg.Drift.SampleStride),
+		}
+		next.byName[name].relearns.Store(existing.relearns.Load())
+		next.byName[name].relearnFails.Store(existing.relearnFails.Load())
+	} else {
+		h, err := core.NewHandle(repo)
+		if err != nil {
+			return 0, err
+		}
+		version = 1
+		next.byName[name] = s.newTemplate(name, h)
+	}
+	s.templates.Store(next.finish())
+	return version, nil
+}
+
+// TemplateStats is one template's slice of the /v1/stats document.
+type TemplateStats struct {
+	Template      string  `json:"template"`
 	Version       uint64  `json:"version"`
 	Classes       int     `json:"classes"`
 	Entries       int     `json:"entries"`
@@ -363,10 +601,6 @@ type Stats struct {
 	Misses        int64   `json:"misses"`
 	HitRate       float64 `json:"hit_rate"`
 	Decisions     int64   `json:"decisions"`
-	ClassifyReqs  int64   `json:"classify_requests"`
-	LookupReqs    int64   `json:"lookup_requests"`
-	PutReqs       int64   `json:"put_requests"`
-	BadRequests   int64   `json:"bad_requests"`
 	DriftWindows  int64   `json:"drift_windows"`
 	LastDriftRate float64 `json:"last_window_unforeseen_rate"`
 	DriftTriggers int64   `json:"drift_triggers"`
@@ -374,101 +608,251 @@ type Stats struct {
 	RelearnFails  int64   `json:"relearn_failures"`
 	Relearning    bool    `json:"relearning"`
 	RecentRows    int     `json:"recent_rows"`
+}
+
+// Stats is the /v1/stats document. The top-level repository and drift
+// fields describe one template (the routed one); Templates counts how
+// many the server serves.
+type Stats struct {
+	TemplateStats
+	Templates     int     `json:"templates"`
+	ClassifyReqs  int64   `json:"classify_requests"`
+	LookupReqs    int64   `json:"lookup_requests"`
+	PutReqs       int64   `json:"put_requests"`
+	GetReqs       int64   `json:"get_requests"`
+	Installs      int64   `json:"installs"`
+	BadRequests   int64   `json:"bad_requests"`
 	Snapshots     int64   `json:"snapshots"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// StatsSnapshot assembles the current statistics. Counter loads are
+// templateStats assembles one template's counters. Counter loads are
 // individually atomic, not mutually consistent — fine for telemetry.
-func (s *Server) StatsSnapshot() Stats {
-	cur := s.handle.Current()
+func templateStats(t *template) TemplateStats {
+	cur := t.handle.Current()
 	hits, misses := cur.Repo.LookupCounts()
-	return Stats{
+	return TemplateStats{
+		Template:      t.name,
 		Version:       cur.Version,
 		Classes:       cur.Repo.Classes(),
 		Entries:       cur.Repo.Len(),
 		Hits:          hits,
 		Misses:        misses,
 		HitRate:       cur.Repo.HitRate(),
-		Decisions:     s.drift.decisions.Load(),
+		Decisions:     t.drift.decisions.Load(),
+		DriftWindows:  t.drift.windows.Load(),
+		LastDriftRate: t.drift.LastWindowRate(),
+		DriftTriggers: t.drift.triggers.Load(),
+		Relearns:      t.relearns.Load(),
+		RelearnFails:  t.relearnFails.Load(),
+		Relearning:    t.flight.Busy(),
+		RecentRows:    t.ring.Len(),
+	}
+}
+
+// StatsSnapshot assembles the statistics of the default-routed
+// template (the sole one on a single-template server). When no
+// default resolves — several templates, none named "default" — the
+// template-level fields stay zero and only the server-wide counters
+// are meaningful; use StatsFor to get the error instead.
+func (s *Server) StatsSnapshot() Stats {
+	st, _ := s.StatsFor("")
+	return st
+}
+
+// StatsFor assembles the statistics for one template ("" = default).
+func (s *Server) StatsFor(name string) (Stats, error) {
+	st := Stats{
+		Templates:     len(s.templates.Load().byName),
 		ClassifyReqs:  s.classifyReqs.Load(),
 		LookupReqs:    s.lookupReqs.Load(),
 		PutReqs:       s.putReqs.Load(),
+		GetReqs:       s.getReqs.Load(),
+		Installs:      s.installs.Load(),
 		BadRequests:   s.badRequests.Load(),
-		DriftWindows:  s.drift.windows.Load(),
-		LastDriftRate: s.drift.LastWindowRate(),
-		DriftTriggers: s.drift.triggers.Load(),
-		Relearns:      s.relearns.Load(),
-		RelearnFails:  s.relearnFails.Load(),
-		Relearning:    s.flight.Busy(),
-		RecentRows:    s.ring.Len(),
 		Snapshots:     s.snapshots.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
+	tpl, err := s.resolveTemplateName(name)
+	if err != nil {
+		return st, err
+	}
+	st.TemplateStats = templateStats(tpl)
+	return st, nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.StatsFor(r.URL.Query().Get("template"))
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.StatsSnapshot())
+	_ = enc.Encode(st)
 }
 
-// handleMetrics renders the Prometheus text exposition format.
+// TemplateInfo is one entry of the /v1/templates listing.
+type TemplateInfo struct {
+	Template string          `json:"template"`
+	Version  uint64          `json:"version"`
+	Classes  int             `json:"classes"`
+	Entries  int             `json:"entries"`
+	Events   []metrics.Event `json:"events"`
+}
+
+// Templates lists every installed template, sorted by id.
+func (s *Server) Templates() []TemplateInfo {
+	set := s.templates.Load()
+	out := make([]TemplateInfo, 0, len(set.names))
+	for _, name := range set.names {
+		t := set.byName[name]
+		cur := t.handle.Current()
+		out = append(out, TemplateInfo{
+			Template: name,
+			Version:  cur.Version,
+			Classes:  cur.Repo.Classes(),
+			Entries:  cur.Repo.Len(),
+			Events:   cur.Repo.Events(),
+		})
+	}
+	return out
+}
+
+func (s *Server) handleTemplates(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Templates())
+}
+
+// handleMetrics renders the Prometheus text exposition format. Server
+// totals are unlabeled; per-template series carry a template label —
+// except on a single-template server, which keeps the historical
+// unlabeled names so existing scrapes survive the multi-template
+// refactor.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.StatsSnapshot()
+	set := s.templates.Load()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, m := range []struct {
+
+	type metric struct {
 		name, help, typ string
 		value           float64
-	}{
-		{"dejavud_repo_version", "Version of the live repository snapshot.", "gauge", float64(st.Version)},
-		{"dejavud_repo_classes", "Workload classes in the live repository.", "gauge", float64(st.Classes)},
-		{"dejavud_repo_entries", "Cached (class, bucket) allocations.", "gauge", float64(st.Entries)},
-		{"dejavud_repo_hits_total", "Repository lookup hits (live version).", "counter", float64(st.Hits)},
-		{"dejavud_repo_misses_total", "Repository lookup misses (live version).", "counter", float64(st.Misses)},
-		{"dejavud_decisions_total", "Decisions served (one per signature).", "counter", float64(st.Decisions)},
-		{"dejavud_classify_requests_total", "POST /v1/classify requests.", "counter", float64(st.ClassifyReqs)},
-		{"dejavud_lookup_requests_total", "POST /v1/lookup requests.", "counter", float64(st.LookupReqs)},
-		{"dejavud_put_requests_total", "POST /v1/put requests.", "counter", float64(st.PutReqs)},
-		{"dejavud_bad_requests_total", "Rejected requests.", "counter", float64(st.BadRequests)},
-		{"dejavud_drift_windows_total", "Closed drift observation windows.", "counter", float64(st.DriftWindows)},
-		{"dejavud_drift_unforeseen_rate", "Unforeseen rate of the last closed window.", "gauge", st.LastDriftRate},
-		{"dejavud_drift_triggers_total", "Windows that crossed the relearn threshold.", "counter", float64(st.DriftTriggers)},
-		{"dejavud_relearns_total", "Background relearns swapped in.", "counter", float64(st.Relearns)},
-		{"dejavud_relearn_failures_total", "Background relearns that failed.", "counter", float64(st.RelearnFails)},
-		{"dejavud_snapshots_total", "Repository snapshots written.", "counter", float64(st.Snapshots)},
-		{"dejavud_uptime_seconds", "Seconds since the server started.", "gauge", st.UptimeSeconds},
+	}
+	for _, m := range []metric{
+		{"dejavud_templates", "Installed service templates.", "gauge", float64(len(set.byName))},
+		{"dejavud_classify_requests_total", "POST /v1/classify requests.", "counter", float64(s.classifyReqs.Load())},
+		{"dejavud_lookup_requests_total", "POST /v1/lookup requests.", "counter", float64(s.lookupReqs.Load())},
+		{"dejavud_put_requests_total", "POST /v1/put requests.", "counter", float64(s.putReqs.Load())},
+		{"dejavud_get_requests_total", "POST /v1/get requests.", "counter", float64(s.getReqs.Load())},
+		{"dejavud_installs_total", "POST /v1/install repositories published.", "counter", float64(s.installs.Load())},
+		{"dejavud_bad_requests_total", "Rejected requests.", "counter", float64(s.badRequests.Load())},
+		{"dejavud_snapshots_total", "Repository snapshots written.", "counter", float64(s.snapshots.Load())},
+		{"dejavud_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(s.start).Seconds()},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
+
+	perTemplate := []struct {
+		name, help, typ string
+		value           func(TemplateStats) float64
+	}{
+		{"dejavud_repo_version", "Version of the live repository snapshot.", "gauge", func(t TemplateStats) float64 { return float64(t.Version) }},
+		{"dejavud_repo_classes", "Workload classes in the live repository.", "gauge", func(t TemplateStats) float64 { return float64(t.Classes) }},
+		{"dejavud_repo_entries", "Cached (class, bucket) allocations.", "gauge", func(t TemplateStats) float64 { return float64(t.Entries) }},
+		{"dejavud_repo_hits_total", "Repository lookup hits (live version).", "counter", func(t TemplateStats) float64 { return float64(t.Hits) }},
+		{"dejavud_repo_misses_total", "Repository lookup misses (live version).", "counter", func(t TemplateStats) float64 { return float64(t.Misses) }},
+		{"dejavud_decisions_total", "Decisions served (one per signature).", "counter", func(t TemplateStats) float64 { return float64(t.Decisions) }},
+		{"dejavud_drift_windows_total", "Closed drift observation windows.", "counter", func(t TemplateStats) float64 { return float64(t.DriftWindows) }},
+		{"dejavud_drift_unforeseen_rate", "Unforeseen rate of the last closed window.", "gauge", func(t TemplateStats) float64 { return t.LastDriftRate }},
+		{"dejavud_drift_triggers_total", "Windows that crossed the relearn threshold.", "counter", func(t TemplateStats) float64 { return float64(t.DriftTriggers) }},
+		{"dejavud_relearns_total", "Background relearns swapped in.", "counter", func(t TemplateStats) float64 { return float64(t.Relearns) }},
+		{"dejavud_relearn_failures_total", "Background relearns that failed.", "counter", func(t TemplateStats) float64 { return float64(t.RelearnFails) }},
+	}
+	stats := make([]TemplateStats, 0, len(set.names))
+	for _, name := range set.names {
+		stats = append(stats, templateStats(set.byName[name]))
+	}
+	for _, m := range perTemplate {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, ts := range stats {
+			if len(stats) == 1 {
+				fmt.Fprintf(w, "%s %g\n", m.name, m.value(ts))
+			} else {
+				fmt.Fprintf(w, "%s{template=%q} %g\n", m.name, ts.Template, m.value(ts))
+			}
+		}
+	}
 }
 
-// Snapshot persists the live repository to Config.SnapshotPath
-// atomically (temp file + rename) and returns the written version.
-// Used by POST /v1/snapshot and by graceful shutdown.
-func (s *Server) Snapshot() (version uint64, path string, err error) {
+// SnapshotResult reports one persisted template.
+type SnapshotResult struct {
+	Template string `json:"template"`
+	Version  uint64 `json:"version"`
+	Path     string `json:"path"`
+}
+
+// SnapshotPathFor derives the snapshot file for one template from a
+// configured path pattern: a "%s" is substituted with the template
+// id; otherwise the sole-at-construction template uses the pattern
+// verbatim (the historical single-template layout — stable across
+// runtime installs) and every other template gets
+// "<base>-<template><ext>". Exported so daemons resolve the same
+// file at load-on-start that the server writes at snapshot time.
+func SnapshotPathFor(pattern, template string, sole bool) string {
+	if strings.Contains(pattern, "%s") {
+		return fmt.Sprintf(pattern, template)
+	}
+	if sole {
+		return pattern
+	}
+	if i := strings.LastIndexByte(pattern, '.'); i > strings.LastIndexByte(pattern, '/') {
+		return pattern[:i] + "-" + template + pattern[i:]
+	}
+	return pattern + "-" + template
+}
+
+// Snapshot persists every template's live repository to its
+// SnapshotPath-derived file atomically (temp file + rename). Used by
+// POST /v1/snapshot and by graceful shutdown.
+func (s *Server) Snapshot() ([]SnapshotResult, error) {
 	if s.cfg.SnapshotPath == "" {
-		return 0, "", errors.New("server: no snapshot path configured")
+		return nil, errors.New("server: no snapshot path configured")
 	}
 	s.snapshotMu.Lock()
 	defer s.snapshotMu.Unlock()
-	cur := s.handle.Current()
-	tmp := s.cfg.SnapshotPath + ".tmp"
+	set := s.templates.Load()
+	out := make([]SnapshotResult, 0, len(set.names))
+	for _, name := range set.names {
+		cur := set.byName[name].handle.Current()
+		path := SnapshotPathFor(s.cfg.SnapshotPath, name, name == s.verbatimTemplate)
+		if err := writeSnapshot(cur.Repo, path); err != nil {
+			return out, fmt.Errorf("server: snapshot template %s: %w", name, err)
+		}
+		s.snapshots.Add(1)
+		out = append(out, SnapshotResult{Template: name, Version: cur.Version, Path: path})
+	}
+	return out, nil
+}
+
+// writeSnapshot persists one repository with the temp+rename dance.
+func writeSnapshot(repo *core.Repository, path string) error {
+	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return 0, "", err
+		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := core.SaveRepository(cur.Repo, bw); err != nil {
+	if err := core.SaveRepository(repo, bw); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, "", err
+		return err
 	}
 	if err := bw.Flush(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, "", err
+		return err
 	}
 	// Sync before rename: without it, a crash shortly after the
 	// rename can leave an empty or truncated file under the final
@@ -477,32 +861,47 @@ func (s *Server) Snapshot() (version uint64, path string, err error) {
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, "", err
+		return err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return 0, "", err
+		return err
 	}
-	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return 0, "", err
+		return err
 	}
-	s.snapshots.Add(1)
-	return cur.Version, s.cfg.SnapshotPath, nil
+	return nil
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
-	v, path, err := s.Snapshot()
+	results, err := s.Snapshot()
 	if err != nil {
 		s.badRequest(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"version":%d,"path":%q}`+"\n", v, path)
+	_ = json.NewEncoder(w).Encode(results)
 }
 
-// Relearning reports whether a background rebuild is in flight.
-func (s *Server) Relearning() bool { return s.flight.Busy() }
+// Relearning reports whether any template's background rebuild is in
+// flight.
+func (s *Server) Relearning() bool {
+	set := s.templates.Load()
+	for _, t := range set.byName {
+		if t.flight.Busy() {
+			return true
+		}
+	}
+	return false
+}
 
-// Relearns reports how many rebuilds have been swapped in.
-func (s *Server) Relearns() int64 { return s.relearns.Load() }
+// Relearns reports how many rebuilds have been swapped in across all
+// templates.
+func (s *Server) Relearns() int64 {
+	var n int64
+	for _, t := range s.templates.Load().byName {
+		n += t.relearns.Load()
+	}
+	return n
+}

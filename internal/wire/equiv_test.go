@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomRequest builds a random rectangular batch whose values span
+// the full float64 range the decision plane can carry (profiler-
+// normalized rates plus adversarial magnitudes), drawn as raw bit
+// patterns away from the subnormal/overflow edges.
+func randomRequest(rng *rand.Rand) *Request {
+	var req Request
+	if rng.Intn(2) == 0 {
+		req.SetTemplate([]string{"cassandra", "specweb", "rubis", "t"}[rng.Intn(4)])
+	}
+	req.Bucket = rng.Intn(19)
+	rows := 1 + rng.Intn(24)
+	width := 1 + rng.Intn(12)
+	row := make([]float64, width)
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = randomFloat(rng)
+		}
+		req.AppendRow(row)
+	}
+	return &req
+}
+
+func randomFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(4) {
+	case 0: // realistic profiler-normalized rate
+		return (rng.Float64() - 0.3) * math.Pow10(rng.Intn(13)-6)
+	case 1: // small integer
+		return float64(rng.Intn(2000) - 500)
+	default: // arbitrary bits, clamped away from the extreme edges
+		for {
+			v := math.Float64frombits(rng.Uint64())
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if m := math.Abs(v); v != 0 && (m < 1e-290 || m > 1e290) {
+				continue
+			}
+			return v
+		}
+	}
+}
+
+// TestWireJSONBinaryEquivalence is the property test behind the
+// protocol's compatibility claim: any batch encoded by the JSON codec
+// and by the binary codec decodes to bit-equal values, so a fleet can
+// mix transports (or roll between them) without a single decision
+// changing.
+func TestWireJSONBinaryEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var jsonReq, binReq Request
+	var jsonBuf, binBuf []byte
+	for iter := 0; iter < 300; iter++ {
+		req := randomRequest(rng)
+		jsonBuf = req.AppendJSON(jsonBuf[:0])
+		var err error
+		if binBuf, err = req.AppendBinary(binBuf[:0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := jsonReq.DecodeJSON(jsonBuf); err != nil {
+			t.Fatalf("iter %d: json decode: %v", iter, err)
+		}
+		if err := binReq.DecodeBinary(binBuf); err != nil {
+			t.Fatalf("iter %d: binary decode: %v", iter, err)
+		}
+		if string(jsonReq.Template) != string(binReq.Template) ||
+			jsonReq.Bucket != binReq.Bucket || jsonReq.Rows() != binReq.Rows() {
+			t.Fatalf("iter %d: header mismatch: %+v vs %+v", iter, jsonReq, binReq)
+		}
+		for i := 0; i < jsonReq.Rows(); i++ {
+			jr, br := jsonReq.Row(i), binReq.Row(i)
+			for j := range jr {
+				if math.Float64bits(jr[j]) != math.Float64bits(br[j]) {
+					t.Fatalf("iter %d row %d col %d: json %v (%x) != binary %v (%x) for original %v",
+						iter, i, j, jr[j], math.Float64bits(jr[j]), br[j], math.Float64bits(br[j]),
+						req.Row(i)[j])
+				}
+			}
+		}
+	}
+
+	// Responses: same property, both vocabularies.
+	var jsonResp, binResp Response
+	for iter := 0; iter < 300; iter++ {
+		resp := Response{Version: rng.Uint64() % (1 << 40), Lookup: rng.Intn(2) == 0}
+		for i := 0; i < 1+rng.Intn(24); i++ {
+			d := Decision{Class: rng.Intn(8) - 1, Certainty: math.Abs(randomFloat(rng))}
+			if d.Class == -1 {
+				d.Unforeseen = true
+			}
+			if resp.Lookup && d.Class >= 0 && rng.Intn(2) == 0 {
+				d.Hit = true
+				d.Type = catalog[rng.Intn(len(catalog))].ID()
+				d.Count = 1 + rng.Intn(40)
+			}
+			resp.Results = append(resp.Results, d)
+		}
+		jsonBuf = resp.AppendJSON(jsonBuf[:0])
+		binBuf = resp.AppendBinary(binBuf[:0])
+		if err := jsonResp.DecodeJSON(jsonBuf); err != nil {
+			t.Fatalf("iter %d: json decode: %v", iter, err)
+		}
+		if err := binResp.DecodeBinary(binBuf); err != nil {
+			t.Fatalf("iter %d: binary decode: %v", iter, err)
+		}
+		if jsonResp.Version != binResp.Version || len(jsonResp.Results) != len(binResp.Results) {
+			t.Fatalf("iter %d: envelope mismatch", iter)
+		}
+		for i := range resp.Results {
+			j, b := jsonResp.Results[i], binResp.Results[i]
+			if math.Float64bits(j.Certainty) != math.Float64bits(b.Certainty) {
+				t.Fatalf("iter %d row %d: certainty %x != %x", iter, i,
+					math.Float64bits(j.Certainty), math.Float64bits(b.Certainty))
+			}
+			j.Certainty, b.Certainty = 0, 0
+			if j != b {
+				t.Fatalf("iter %d row %d: %+v != %+v", iter, i, j, b)
+			}
+		}
+	}
+}

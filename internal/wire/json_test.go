@@ -1,4 +1,4 @@
-package server
+package wire
 
 import (
 	"math"
@@ -7,10 +7,10 @@ import (
 	"testing"
 )
 
-func parseOK(t *testing.T, body string) *decisionRequest {
+func parseOK(t *testing.T, body string) *Request {
 	t.Helper()
-	var req decisionRequest
-	if err := parseDecisionRequest([]byte(body), &req); err != nil {
+	var req Request
+	if err := req.DecodeJSON([]byte(body)); err != nil {
 		t.Fatalf("parse %q: %v", body, err)
 	}
 	return &req
@@ -18,44 +18,47 @@ func parseOK(t *testing.T, body string) *decisionRequest {
 
 func TestParseSingle(t *testing.T) {
 	req := parseOK(t, `{"signature":[1.5, -2, 3e2]}`)
-	if !req.single || req.rows() != 1 || req.bucket != 0 {
+	if !req.Single || req.Rows() != 1 || req.Bucket != 0 {
 		t.Fatalf("parsed: %+v", req)
 	}
-	row := req.row(0)
+	row := req.Row(0)
 	if len(row) != 3 || row[0] != 1.5 || row[1] != -2 || row[2] != 300 {
 		t.Fatalf("row: %v", row)
 	}
 }
 
-func TestParseBatchWithBucket(t *testing.T) {
-	req := parseOK(t, `{"bucket": 3, "signatures": [[1,2],[3,4],[5,6]]}`)
-	if req.single || req.rows() != 3 || req.bucket != 3 {
+func TestParseBatchWithBucketAndTemplate(t *testing.T) {
+	req := parseOK(t, `{"template":"cassandra","bucket": 3, "signatures": [[1,2],[3,4],[5,6]]}`)
+	if req.Single || req.Rows() != 3 || req.Bucket != 3 {
 		t.Fatalf("parsed: %+v", req)
 	}
-	if r := req.row(1); r[0] != 3 || r[1] != 4 {
+	if string(req.Template) != "cassandra" {
+		t.Fatalf("template: %q", req.Template)
+	}
+	if r := req.Row(1); r[0] != 3 || r[1] != 4 {
 		t.Fatalf("row 1: %v", r)
 	}
-	if r := req.row(2); r[0] != 5 || r[1] != 6 {
+	if r := req.Row(2); r[0] != 5 || r[1] != 6 {
 		t.Fatalf("row 2: %v", r)
 	}
 }
 
 func TestParseUnknownKeysSkipped(t *testing.T) {
 	req := parseOK(t, `{"client":"vm-007","nested":{"a":[1,{"b":"}"}]},"flag":true,"none":null,"signature":[7],"extra":-1.5e-2}`)
-	if req.rows() != 1 || req.row(0)[0] != 7 {
+	if req.Rows() != 1 || req.Row(0)[0] != 7 {
 		t.Fatalf("parsed: %+v", req)
 	}
 }
 
 func TestParseReuseResets(t *testing.T) {
-	var req decisionRequest
-	if err := parseDecisionRequest([]byte(`{"signatures":[[1,2],[3,4]],"bucket":2}`), &req); err != nil {
+	var req Request
+	if err := req.DecodeJSON([]byte(`{"template":"x","signatures":[[1,2],[3,4]],"bucket":2}`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := parseDecisionRequest([]byte(`{"signature":[9]}`), &req); err != nil {
+	if err := req.DecodeJSON([]byte(`{"signature":[9]}`)); err != nil {
 		t.Fatal(err)
 	}
-	if req.rows() != 1 || req.row(0)[0] != 9 || req.bucket != 0 {
+	if req.Rows() != 1 || req.Row(0)[0] != 9 || req.Bucket != 0 || len(req.Template) != 0 {
 		t.Fatalf("stale state after reuse: %+v", req)
 	}
 }
@@ -76,6 +79,7 @@ func TestParseErrors(t *testing.T) {
 		`{"bucket":-1,"signature":[1]}`,
 		`{"bucket":1.5,"signature":[1]}`,
 		`{"bucket":"zero","signature":[1]}`,
+		`{"template":42,"signature":[1]}`,
 		`{"signature":[1e]}`,
 		`{"signature":[--1]}`,
 		`{"signature" [1]}`,
@@ -83,24 +87,23 @@ func TestParseErrors(t *testing.T) {
 		`{"x":t,"signature":[1]}`,
 		`{"x":nul,"signature":[1]}`,
 	}
-	var req decisionRequest
+	var req Request
 	for _, b := range bad {
-		if err := parseDecisionRequest([]byte(b), &req); err == nil {
+		if err := req.DecodeJSON([]byte(b)); err == nil {
 			t.Errorf("parse %q: expected error", b)
 		}
 	}
 }
 
-// TestNumberRoundTrip pins the parser's accuracy contract (see the
-// codec.go package comment): exact single-rounding parses for ≤15
-// significant digits in the profiler-normalized rate range, ≤1 ulp
-// for shortest-form (up to 17 digit) encodings of moderate-magnitude
-// floats, ≤8 ulp across the non-extreme float64 exponent range, and full
+// TestNumberRoundTrip pins the parser's accuracy contract (see
+// number.go): exact parses for every shortest-form encoding (what the
+// wire codecs emit) across the non-extreme float64 range, and full
 // determinism (equal bytes, equal values).
 func TestNumberRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	// 15-significant-digit texts in the rate range: mantissa < 2^53
-	// and |decimal exponent| ≤ 22, so one rounding — exact.
+	// and |decimal exponent| ≤ 22, so one rounding — exact on the
+	// fast path alone.
 	for i := 0; i < 5000; i++ {
 		exp := rng.Intn(13) - 6 // 1e-6 .. 1e6: profiler-normalized rates
 		v := (0.1 + 0.9*rng.Float64()) * math.Pow10(exp)
@@ -122,7 +125,8 @@ func TestNumberRoundTrip(t *testing.T) {
 		}
 	}
 	// Shortest-form encodings (what AppendFloat 'g' -1 emits): a
-	// 16-17 digit mantissa exceeds 2^53, costing one extra rounding.
+	// 16-17 digit mantissa exceeds 2^53; the shortest-representation
+	// refinement must recover the exact value.
 	for i := 0; i < 5000; i++ {
 		exp := rng.Intn(13) - 6
 		want := rng.Float64() * math.Pow10(exp)
@@ -132,8 +136,9 @@ func TestNumberRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %s: %v", text, err)
 		}
-		if diff := ulpDiff(got, want); diff > 1 {
-			t.Fatalf("shortest-form parse %s: got %v, want %v (%d ulp apart)", text, got, want, diff)
+		if got != want {
+			t.Fatalf("shortest-form parse %s: got %v, want %v (%d ulp apart)",
+				text, got, want, ulpDiff(got, want))
 		}
 		s2 := scanner{b: text}
 		again, _ := s2.number()
@@ -141,8 +146,8 @@ func TestNumberRoundTrip(t *testing.T) {
 			t.Fatalf("parse %s is not deterministic", text)
 		}
 	}
-	// Arbitrary float64s: the computed power of ten accumulates a few
-	// more roundings at extreme exponents.
+	// Arbitrary float64 bit patterns away from the subnormal/overflow
+	// edges: still exact.
 	for i := 0; i < 5000; i++ {
 		want := math.Float64frombits(rng.Uint64())
 		if math.IsNaN(want) || math.IsInf(want, 0) {
@@ -150,8 +155,9 @@ func TestNumberRoundTrip(t *testing.T) {
 		}
 		if m := math.Abs(want); m < 1e-290 || m > 1e290 {
 			// Near-subnormal and near-overflow magnitudes degrade
-			// gracefully but outside the ulp bound; signature rates
-			// live many orders of magnitude away from either edge.
+			// gracefully but the fast-path estimate can land outside
+			// the refinement window; signature rates live many orders
+			// of magnitude away from either edge.
 			continue
 		}
 		text := strconv.AppendFloat(nil, want, 'g', -1, 64)
@@ -160,8 +166,8 @@ func TestNumberRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %s: %v", text, err)
 		}
-		if diff := ulpDiff(got, want); diff > 8 {
-			t.Fatalf("parse %s: got %v, want %v (%d ulp apart)", text, got, want, diff)
+		if got != want {
+			t.Fatalf("parse %s: got %v, want %v (%d ulp apart)", text, got, want, ulpDiff(got, want))
 		}
 	}
 }
@@ -187,9 +193,44 @@ func TestParseIntegersAndExponents(t *testing.T) {
 	}
 	for body, want := range cases {
 		req := parseOK(t, body)
-		got := req.row(0)[0]
+		got := req.Row(0)[0]
 		if got != want && math.Abs(got-want) > math.Abs(want)*1e-14 {
 			t.Errorf("%s: got %v, want %v", body, got, want)
 		}
+	}
+}
+
+func TestResponseJSONRoundTrip(t *testing.T) {
+	resp := Response{Version: 7, Lookup: true, Results: []Decision{
+		{Class: 2, Certainty: 0.953, Unforeseen: false, Hit: true, Type: 2, Count: 5},
+		{Class: -1, Certainty: 0.31, Unforeseen: true},
+		{Class: 0, Certainty: 0.88},
+	}}
+	body := resp.AppendJSON(nil)
+	var back Response
+	if err := back.DecodeJSON(body); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	if back.Version != resp.Version || !back.Lookup || len(back.Results) != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	for i := range resp.Results {
+		if back.Results[i] != resp.Results[i] {
+			t.Errorf("result %d: got %+v, want %+v", i, back.Results[i], resp.Results[i])
+		}
+	}
+
+	// Classify responses carry no hit vocabulary and decode with
+	// Lookup=false.
+	resp.Lookup = false
+	var clf Response
+	if err := clf.DecodeJSON(resp.AppendJSON(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if clf.Lookup {
+		t.Error("classify envelope decoded as lookup")
+	}
+	if clf.Results[0].Hit || clf.Results[0].Count != 0 {
+		t.Errorf("classify row leaked lookup fields: %+v", clf.Results[0])
 	}
 }
