@@ -32,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -102,13 +103,16 @@ type LearnReport struct {
 }
 
 // ServeBench is one decision-service measurement: concurrent clients
-// hammering batched lookups at a dejavud server over loopback HTTP
-// through the internal/client library, in one wire encoding.
+// hammering batched lookups at a dejavud server over loopback —
+// HTTP in one wire encoding, or the raw-TCP decision plane.
 type ServeBench struct {
 	Encoding        string  `json:"encoding"`
+	Transport       string  `json:"transport"`
 	Clients         int     `json:"clients"`
 	Batch           int     `json:"batch"`
 	Requests        int     `json:"requests"`
+	Pipeline        int     `json:"pipeline,omitempty"`
+	Cores           int     `json:"cores"`
 	Seconds         float64 `json:"seconds"`
 	DecisionsPerSec float64 `json:"decisions_per_sec"`
 	P50Ms           float64 `json:"p50_ms"`
@@ -117,33 +121,41 @@ type ServeBench struct {
 }
 
 // ServeReport is the BENCH_serve.json schema: the same loopback load
-// measured once per wire encoding. The binary/JSON decisions-per-sec
-// ratio is CI-gated (see serveCheck).
+// measured once per wire encoding over HTTP, once over the raw-TCP
+// stream transport at one core, and once over TCP with all cores
+// (sharded accept loops, GOMAXPROCS = NumCPU). The binary/JSON and
+// TCP/binary-HTTP decisions-per-sec ratios are CI-gated (see
+// serveCheck).
 type ServeReport struct {
-	GoVersion  string     `json:"go_version"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	ServeJSON  ServeBench `json:"serve_json"`
-	ServeBin   ServeBench `json:"serve_binary"`
+	GoVersion         string     `json:"go_version"`
+	GOMAXPROCS        int        `json:"gomaxprocs"`
+	ServeJSON         ServeBench `json:"serve_json"`
+	ServeBin          ServeBench `json:"serve_binary"`
+	ServeTCP          ServeBench `json:"serve_tcp"`
+	ServeTCPMulticore ServeBench `json:"serve_tcp_multicore"`
 }
 
 // benchServe learns a small repository, serves it through the real
-// internal/server HTTP stack on loopback, and drives `clients`
-// concurrent connections issuing `requests` batched lookups through
-// the internal/client library — once per wire encoding, same load.
+// internal/server stack on loopback, and drives `clients` concurrent
+// connections issuing `requests` batched lookups through the
+// internal/client library — once per wire encoding over HTTP, once
+// over the raw-TCP stream transport, all three pinned to one core so
+// the committed baseline is scheduling-stable; then once more over
+// TCP with GOMAXPROCS = NumCPU and one sharded accept loop per core.
 // The decision path's 0 allocs/op is pinned separately by the server
 // and client zero-alloc tests; this measures end-to-end serving
-// throughput and tail latency, and the codec tax separating the two
-// encodings.
-func benchServe(clients, batch, requests int) (jsonBench, binBench ServeBench, err error) {
+// throughput and tail latency, the codec tax separating the two
+// encodings, and the HTTP framing tax the stream transport deletes.
+func benchServe(rep *ServeReport, clients, batch, requests int) error {
 	svc := services.NewCassandra()
 	learnRng := rand.New(rand.NewSource(17))
 	prof, err := core.NewProfiler(svc, learnRng)
 	if err != nil {
-		return jsonBench, binBench, err
+		return err
 	}
 	tuner, err := fleet.DefaultTuner(svc)
 	if err != nil {
-		return jsonBench, binBench, err
+		return err
 	}
 	var workloads []services.Workload
 	for c := 100.0; c <= 460; c += 30 {
@@ -156,57 +168,249 @@ func benchServe(clients, batch, requests int) (jsonBench, binBench ServeBench, e
 		Rng:       learnRng,
 	})
 	if err != nil {
-		return jsonBench, binBench, err
+		return err
 	}
 	handle, err := core.NewHandle(repo)
 	if err != nil {
-		return jsonBench, binBench, err
+		return err
 	}
 	srv, err := server.New(server.Config{Handle: handle})
 	if err != nil {
-		return jsonBench, binBench, err
+		return err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return jsonBench, binBench, err
+		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
 	defer hs.Close()
 
+	// Raw-TCP planes on the same server: one accept loop for the
+	// single-core rows, one accept loop per core for the multi-core
+	// row.
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	tcpOne := server.NewTCP(srv, server.TCPConfig{Accepters: 1})
+	go func() { _ = tcpOne.Serve(tcpLn) }()
+	defer tcpOne.Close()
+	cores := runtime.NumCPU()
+	tcpMultiLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	tcpMulti := server.NewTCP(srv, server.TCPConfig{Accepters: cores})
+	go func() { _ = tcpMulti.Serve(tcpMultiLn) }()
+	defer tcpMulti.Close()
+
 	// One foreseen signature, batched: the steady-state hit path.
 	sig, err := prof.Profile(services.Workload{Clients: 300, Mix: svc.DefaultMix()}, repo.EventsRef())
 	if err != nil {
-		return jsonBench, binBench, err
+		return err
 	}
 	addr := ln.Addr().String()
 
-	if jsonBench, err = benchServeEncoding(addr, sig.Values, wire.EncodingJSON, clients, batch, requests); err != nil {
-		return jsonBench, binBench, err
+	// Single-core rows: client, server, and codec all share one core,
+	// so the committed numbers compare across machines with different
+	// core counts.
+	prev := runtime.GOMAXPROCS(1)
+	if rep.ServeJSON, err = benchServeEncoding(addr, sig.Values, wire.EncodingJSON, clients, batch, requests); err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
 	}
-	if binBench, err = benchServeEncoding(addr, sig.Values, wire.EncodingBinary, clients, batch, requests); err != nil {
-		return jsonBench, binBench, err
+	if rep.ServeBin, err = benchServeEncoding(addr, sig.Values, wire.EncodingBinary, clients, batch, requests); err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
 	}
-	jsonBench.HitPct = 100 * repo.HitRate()
-	binBench.HitPct = jsonBench.HitPct
-	return jsonBench, binBench, nil
+	if rep.ServeTCP, err = benchServeTCP(tcpLn.Addr().String(), sig.Values, clients, batch, requests); err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
+	}
+	// Multi-core row: all cores, sharded accept loops.
+	runtime.GOMAXPROCS(cores)
+	rep.ServeTCPMulticore, err = benchServeTCP(tcpMultiLn.Addr().String(), sig.Values, clients, batch, requests)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		return err
+	}
+
+	hitPct := 100 * repo.HitRate()
+	rep.ServeJSON.HitPct = hitPct
+	rep.ServeBin.HitPct = hitPct
+	rep.ServeTCP.HitPct = hitPct
+	rep.ServeTCPMulticore.HitPct = hitPct
+	return nil
 }
 
-// benchServeEncoding drives one encoding's load: `clients` workers
-// over one pooled client, best of three passes (loopback throughput
-// on a small shared runner is noisy, and the gate compares against
-// the best the machine can do).
+// benchServeEncoding drives one HTTP encoding's load: `clients`
+// workers over one pooled client, best of three passes (loopback
+// throughput on a small shared runner is noisy, and the gate compares
+// against the best the machine can do).
 func benchServeEncoding(addr string, vals []float64, enc wire.Encoding, clients, batch, requests int) (ServeBench, error) {
 	name := "json"
 	if enc == wire.EncodingBinary {
 		name = "binary"
 	}
-	sb := ServeBench{Encoding: name, Clients: clients, Batch: batch, Requests: requests}
+	sb := ServeBench{Encoding: name, Transport: "http", Clients: clients, Batch: batch,
+		Requests: requests, Cores: runtime.GOMAXPROCS(0)}
 	cl, err := client.New(client.Config{Addr: addr, Encoding: enc, MaxIdleConns: clients})
 	if err != nil {
 		return sb, err
 	}
+	return driveServeLoad(cl, sb, vals)
+}
+
+// tcpPipelineDepth is the per-connection request window the TCP axis
+// keeps in flight. Pipelining is the stream protocol's own feature —
+// request ids exist so a caller never waits a full round trip per
+// batch — and it is what separates the transport from HTTP/1.1, which
+// serializes request/response pairs per connection. The HTTP rows
+// therefore measure sync round trips; this row measures the
+// transport's sustained form.
+const tcpPipelineDepth = 8
+
+// benchServeTCP drives the same batched-lookup load over the raw-TCP
+// stream transport: binary payloads framed in stream envelopes on
+// persistent connections, `clients` connections each keeping
+// tcpPipelineDepth requests in flight. Latency is measured per
+// envelope from write to its response, so the quantiles include the
+// queueing a full window implies.
+func benchServeTCP(tcpAddr string, vals []float64, clients, batch, requests int) (ServeBench, error) {
+	sb := ServeBench{Encoding: "binary", Transport: "tcp", Clients: clients, Batch: batch,
+		Requests: requests, Pipeline: tcpPipelineDepth, Cores: runtime.GOMAXPROCS(0)}
+
+	var req wire.Request
+	req.Bucket = 0
+	for r := 0; r < batch; r++ {
+		req.AppendRow(vals)
+	}
+	payload, err := req.AppendBinary(nil)
+	if err != nil {
+		return sb, err
+	}
+
+	conns := make([]net.Conn, clients)
+	streams := make([]*wire.Stream, clients)
+	defer func() {
+		for _, nc := range conns {
+			if nc != nil {
+				nc.Close()
+			}
+		}
+	}()
+	for i := range conns {
+		nc, err := net.DialTimeout("tcp", tcpAddr, 5*time.Second)
+		if err != nil {
+			return sb, err
+		}
+		conns[i] = nc
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		st := wire.NewStream(nc)
+		if err := st.WriteClientHello(wire.EncodingBinary); err != nil {
+			return sb, err
+		}
+		if _, err := st.ReadServerHello(); err != nil {
+			return sb, err
+		}
+		streams[i] = st
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		latencies := make([][]time.Duration, clients)
+		errs := make([]error, clients)
+		deadline := time.Now().Add(time.Minute)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			n := requests / clients
+			if w < requests%clients {
+				n++
+			}
+			wg.Add(1)
+			go func(w, n int) {
+				defer wg.Done()
+				st := streams[w]
+				conns[w].SetDeadline(deadline)
+				var resp wire.Response
+				var sendTimes [tcpPipelineDepth]time.Time
+				sent, inflight := 0, 0
+				for done := 0; done < n; done++ {
+					for inflight < tcpPipelineDepth && sent < n {
+						sendTimes[sent%tcpPipelineDepth] = time.Now()
+						if err := st.WriteEnvelope(uint32(sent), wire.StreamFlagLookup, payload); err != nil {
+							errs[w] = err
+							return
+						}
+						sent++
+						inflight++
+					}
+					id, flags, body, err := st.ReadEnvelope(8 << 20)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if id != uint32(done) {
+						errs[w] = fmt.Errorf("response id %d, want %d", id, done)
+						return
+					}
+					if flags&wire.StreamFlagError != 0 {
+						errs[w] = fmt.Errorf("daemon error: %s", body)
+						return
+					}
+					if err := resp.Decode(wire.EncodingBinary, body); err != nil {
+						errs[w] = err
+						return
+					}
+					latencies[w] = append(latencies[w], time.Since(sendTimes[done%tcpPipelineDepth]))
+					inflight--
+				}
+			}(w, n)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return sb, err
+			}
+		}
+		recordBestTrial(&sb, elapsed, latencies)
+	}
+	return sb, nil
+}
+
+// recordBestTrial folds one load pass into sb if it beat the passes
+// before it (best of N: loopback throughput on a small shared runner
+// is noisy, and the gate compares against the best the machine can
+// do).
+func recordBestTrial(sb *ServeBench, elapsed time.Duration, latencies [][]time.Duration) {
+	dps := float64(sb.Requests*sb.Batch) / elapsed.Seconds()
+	if dps <= sb.DecisionsPerSec {
+		return
+	}
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(all)-1))
+		return float64(all[idx].Microseconds()) / 1000
+	}
+	sb.Seconds = elapsed.Seconds()
+	sb.DecisionsPerSec = dps
+	sb.P50Ms = quantile(0.50)
+	sb.P99Ms = quantile(0.99)
+}
+
+// driveServeLoad issues the batched-lookup load through cl and keeps
+// the best of three passes. It closes cl.
+func driveServeLoad(cl *client.Client, sb ServeBench, vals []float64) (ServeBench, error) {
 	defer cl.Close()
+	clients, batch, requests := sb.Clients, sb.Batch, sb.Requests
 
 	// Per-worker wire scratch: requests are identical, decode state is
 	// private.
@@ -242,48 +446,56 @@ func benchServeEncoding(addr string, vals []float64, enc wire.Encoding, clients,
 				return sb, err
 			}
 		}
-		if dps := float64(requests*batch) / elapsed.Seconds(); dps > sb.DecisionsPerSec {
-			var all []time.Duration
-			for _, l := range latencies {
-				all = append(all, l...)
-			}
-			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-			quantile := func(q float64) float64 {
-				idx := int(q * float64(len(all)-1))
-				return float64(all[idx].Microseconds()) / 1000
-			}
-			sb.Seconds = elapsed.Seconds()
-			sb.DecisionsPerSec = dps
-			sb.P50Ms = quantile(0.50)
-			sb.P99Ms = quantile(0.99)
-		}
+		recordBestTrial(&sb, elapsed, latencies)
 	}
 	return sb, nil
 }
 
-func serveCheck(current, baseline *ServeReport, tolerance, binaryFloor float64) error {
+func serveCheck(current, baseline *ServeReport, tolerance, binaryFloor, tcpFloor float64) error {
 	for _, axis := range []struct {
 		name     string
 		cur, bas float64
 	}{
 		{"serve_json", current.ServeJSON.DecisionsPerSec, baseline.ServeJSON.DecisionsPerSec},
 		{"serve_binary", current.ServeBin.DecisionsPerSec, baseline.ServeBin.DecisionsPerSec},
+		{"serve_tcp", current.ServeTCP.DecisionsPerSec, baseline.ServeTCP.DecisionsPerSec},
+		{"serve_tcp_multicore", current.ServeTCPMulticore.DecisionsPerSec, baseline.ServeTCPMulticore.DecisionsPerSec},
 	} {
+		if axis.bas == 0 {
+			continue // baseline predates this axis
+		}
 		floor := axis.bas * (1 - tolerance)
 		if axis.cur < floor {
 			return fmt.Errorf("%s decisions/s regressed: %.0f < %.0f (baseline %.0f - %d%%)",
 				axis.name, axis.cur, floor, axis.bas, int(tolerance*100))
 		}
 	}
-	// The hardware-independent part of the gate: the binary columnar
+	// The hardware-independent parts of the gate: the binary columnar
 	// encoding must beat JSON by the configured factor on the same
-	// load — the whole point of the wire refactor.
+	// load (the point of the wire refactor), and the raw-TCP stream
+	// transport must beat binary-over-HTTP by its factor on the same
+	// single-core load (the point of the transport refactor).
 	if current.ServeJSON.DecisionsPerSec > 0 {
 		ratio := current.ServeBin.DecisionsPerSec / current.ServeJSON.DecisionsPerSec
 		if ratio < binaryFloor {
 			return fmt.Errorf("binary/json decisions/s ratio fell below floor: %.2fx < %.2fx (binary %.0f, json %.0f)",
 				ratio, binaryFloor, current.ServeBin.DecisionsPerSec, current.ServeJSON.DecisionsPerSec)
 		}
+	}
+	if current.ServeBin.DecisionsPerSec > 0 && current.ServeTCP.DecisionsPerSec > 0 {
+		ratio := current.ServeTCP.DecisionsPerSec / current.ServeBin.DecisionsPerSec
+		if ratio < tcpFloor {
+			return fmt.Errorf("tcp/binary-http decisions/s ratio fell below floor: %.2fx < %.2fx (tcp %.0f, binary http %.0f)",
+				ratio, tcpFloor, current.ServeTCP.DecisionsPerSec, current.ServeBin.DecisionsPerSec)
+		}
+	}
+	// Sharded accept loops must not cost throughput when there are
+	// cores to shard over; with one core the row only pins that the
+	// multi-accepter path works at all.
+	if current.ServeTCPMulticore.Cores > 1 &&
+		current.ServeTCPMulticore.DecisionsPerSec < current.ServeTCP.DecisionsPerSec {
+		return fmt.Errorf("multi-core tcp serving (%d cores, %.0f decisions/s) slower than single-core (%.0f)",
+			current.ServeTCPMulticore.Cores, current.ServeTCPMulticore.DecisionsPerSec, current.ServeTCP.DecisionsPerSec)
 	}
 	return nil
 }
@@ -561,6 +773,7 @@ func main() {
 	serveBatch := flag.Int("serve-batch", 16, "signatures per batched lookup in the serve benchmark")
 	serveRequests := flag.Int("serve-requests", 8000, "total requests issued by the serve benchmark per encoding")
 	serveBinaryFloor := flag.Float64("serve-binary-floor", 1.5, "minimum binary/json decisions/s ratio with -serve-check")
+	serveTCPFloor := flag.Float64("serve-tcp-floor", 2.0, "minimum tcp/binary-http decisions/s ratio with -serve-check")
 	flag.Parse()
 
 	baseline := readBaseline[Report](*checkPath, "fleet")
@@ -570,18 +783,18 @@ func main() {
 	// The decision-service benchmark runs when asked for.
 	if *serveOut != "" || *serveCheckPath != "" {
 		serveRep := &ServeReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
-		var err error
-		if serveRep.ServeJSON, serveRep.ServeBin, err = benchServe(*serveClients, *serveBatch, *serveRequests); err != nil {
+		if err := benchServe(serveRep, *serveClients, *serveBatch, *serveRequests); err != nil {
 			fatalf("serve: %v", err)
 		}
 		emitReport(*serveOut, serveRep)
 		if serveBaseline != nil {
-			if err := serveCheck(serveRep, serveBaseline, *tolerance, *serveBinaryFloor); err != nil {
+			if err := serveCheck(serveRep, serveBaseline, *tolerance, *serveBinaryFloor, *serveTCPFloor); err != nil {
 				fatalf("REGRESSION: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "dejavu-bench: serve ok vs %s (json %.0f, binary %.0f decisions/s, %.1fx, binary p99 %.2fms)\n",
+			fmt.Fprintf(os.Stderr, "dejavu-bench: serve ok vs %s (json %.0f, binary %.0f, tcp %.0f decisions/s, tcp %.1fx binary, multicore %.0f @ %d cores, tcp p99 %.2fms)\n",
 				*serveCheckPath, serveRep.ServeJSON.DecisionsPerSec, serveRep.ServeBin.DecisionsPerSec,
-				serveRep.ServeBin.DecisionsPerSec/serveRep.ServeJSON.DecisionsPerSec, serveRep.ServeBin.P99Ms)
+				serveRep.ServeTCP.DecisionsPerSec, serveRep.ServeTCP.DecisionsPerSec/serveRep.ServeBin.DecisionsPerSec,
+				serveRep.ServeTCPMulticore.DecisionsPerSec, serveRep.ServeTCPMulticore.Cores, serveRep.ServeTCP.P99Ms)
 		}
 		// Serve-only invocations skip the other benchmarks.
 		if *out == "" && *checkPath == "" && *learnOut == "" && *learnCheckPath == "" {

@@ -18,6 +18,13 @@
 //
 //	dejavu-proxy -listen :8080 -production host:port [-clone host:port] [-sample N]
 //	dejavu-proxy -decision -listen :8080 -upstream host:port [-clone host:port] [-sample N] [-upstream-json]
+//	            [-upstream-tcp host:port] [-clone-tcp host:port]
+//
+// In decision mode, -upstream-tcp (and -clone-tcp for the mirror)
+// moves that hop onto dejavud's raw-TCP decision plane; the matching
+// HTTP address may be omitted because the proxy's forwarding path is
+// decisions-only. A tcp:// prefix on -upstream or -clone does the
+// same thing.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,11 +52,13 @@ func main() {
 	decision := flag.Bool("decision", false, "decision mode: front a dejavud on the wire protocol")
 	upstream := flag.String("upstream", "", "decision mode: upstream dejavud host:port (required)")
 	upstreamJSON := flag.Bool("upstream-json", false, "decision mode: talk JSON to the upstream instead of binary")
+	upstreamTCP := flag.String("upstream-tcp", "", "decision mode: upstream dejavud raw-TCP decision address")
+	cloneTCP := flag.String("clone-tcp", "", "decision mode: clone dejavud raw-TCP decision address")
 	flag.Parse()
 
 	var err error
 	if *decision {
-		err = runDecision(*listen, *upstream, *clone, *sample, *statsEvery, *upstreamJSON)
+		err = runDecision(*listen, *upstream, *upstreamTCP, *clone, *cloneTCP, *sample, *statsEvery, *upstreamJSON)
 	} else {
 		err = runByteStream(*listen, *production, *clone, *sample, *statsEvery)
 	}
@@ -59,15 +69,15 @@ func main() {
 }
 
 // runDecision serves the decision front until SIGINT/SIGTERM.
-func runDecision(listen, upstream, clone string, sample int, statsEvery time.Duration, upstreamJSON bool) error {
-	if upstream == "" {
-		return errors.New("-decision needs -upstream host:port")
+func runDecision(listen, upstream, upstreamTCP, clone, cloneTCP string, sample int, statsEvery time.Duration, upstreamJSON bool) error {
+	if upstream == "" && upstreamTCP == "" {
+		return errors.New("-decision needs -upstream host:port (or -upstream-tcp)")
 	}
 	enc := wire.EncodingBinary
 	if upstreamJSON {
 		enc = wire.EncodingJSON
 	}
-	up, err := client.New(client.Config{Addr: upstream, Encoding: enc})
+	up, err := client.New(client.Config{Addr: upstream, TCPAddr: upstreamTCP, Encoding: enc})
 	if err != nil {
 		return err
 	}
@@ -79,8 +89,8 @@ func runDecision(listen, upstream, clone string, sample int, statsEvery time.Dur
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	}
-	if clone != "" {
-		cl, err := client.New(client.Config{Addr: clone, Encoding: enc})
+	if clone != "" || cloneTCP != "" {
+		cl, err := client.New(client.Config{Addr: clone, TCPAddr: cloneTCP, Encoding: enc})
 		if err != nil {
 			return err
 		}
@@ -100,9 +110,17 @@ func runDecision(listen, upstream, clone string, sample int, statsEvery time.Dur
 			done <- err
 		}
 	}()
-	fmt.Printf("dejavu-proxy: %s on %s -> dejavud %s", front, listen, upstream)
-	if clone != "" {
-		fmt.Printf(", mirroring 1/%d batches to %s", sample, clone)
+	upDesc := upstream
+	if upstreamTCP != "" {
+		upDesc = "tcp://" + strings.TrimPrefix(upstreamTCP, "tcp://")
+	}
+	fmt.Printf("dejavu-proxy: %s on %s -> dejavud %s", front, listen, upDesc)
+	if clone != "" || cloneTCP != "" {
+		clDesc := clone
+		if cloneTCP != "" {
+			clDesc = "tcp://" + strings.TrimPrefix(cloneTCP, "tcp://")
+		}
+		fmt.Printf(", mirroring 1/%d batches to %s", sample, clDesc)
 	}
 	fmt.Println()
 

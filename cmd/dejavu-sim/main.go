@@ -8,12 +8,15 @@
 //	dejavu-sim [-trace hotmail|messenger] [-controller dejavu|autopilot|rightscale|fixedmax]
 //	           [-days D] [-seed N] [-calm MINUTES] [-interference]
 //	dejavu-sim -fleet N [-workers W] [-days D] [-seed N] [-interference] [-hetero]
-//	           [-remote ADDR [-remote-json]]
+//	           [-remote ADDR [-remote-json] [-remote-tcp ADDR]]
 //
 // With -remote, the fleet installs each template's learned repository
 // into the dejavud daemon at ADDR and drives every runtime decision
 // over the wire (binary columnar encoding by default) instead of an
 // in-process repository — same seeds, byte-identical decisions.
+// Adding -remote-tcp moves the decision path onto the daemon's
+// raw-TCP plane (dejavud -tcp-addr) while installs and stats stay on
+// the HTTP address.
 package main
 
 import (
@@ -47,14 +50,15 @@ func main() {
 	hetero := flag.Bool("hetero", false, "fleet mode: mix cassandra/specweb/rubis templates instead of all-cassandra")
 	remote := flag.String("remote", "", "fleet mode: drive a remote dejavud at this host:port instead of in-process repositories")
 	remoteJSON := flag.Bool("remote-json", false, "use the JSON compatibility encoding on the remote decision path (default binary)")
+	remoteTCP := flag.String("remote-tcp", "", "fleet mode: dejavud raw-TCP decision address (requires -remote for the admin plane)")
 	flag.Parse()
 
 	var err error
 	if *fleetN < 0 {
 		err = fmt.Errorf("-fleet %d: fleet size cannot be negative", *fleetN)
 	} else if *fleetN > 0 {
-		err = runFleet(os.Stdout, *fleetN, *workers, *days, *seed, *interference, *hetero, *remote, *remoteJSON)
-	} else if *remote != "" {
+		err = runFleet(os.Stdout, *fleetN, *workers, *days, *seed, *interference, *hetero, *remote, *remoteJSON, *remoteTCP)
+	} else if *remote != "" || *remoteTCP != "" {
 		err = fmt.Errorf("-remote needs -fleet N")
 	} else {
 		err = run(os.Stdout, *traceName, *controller, *days, *seed, *calm, *interference)
@@ -68,7 +72,7 @@ func main() {
 // runFleet generates an N-VM scenario and runs the fleet control
 // plane over it — against in-process repositories, or against a
 // remote dejavud when remoteAddr is set.
-func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, hetero bool, remoteAddr string, remoteJSON bool) error {
+func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, hetero bool, remoteAddr string, remoteJSON bool, remoteTCP string) error {
 	if days < 2 || days > 7 {
 		days = 2
 	}
@@ -87,19 +91,27 @@ func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, het
 		Workers:               workers,
 		InterferenceDetection: interference,
 	}
+	if remoteTCP != "" && remoteAddr == "" {
+		return fmt.Errorf("-remote-tcp needs -remote ADDR: repository installs ride the HTTP admin plane")
+	}
 	if remoteAddr != "" {
 		enc := wire.EncodingBinary
 		if remoteJSON {
 			enc = wire.EncodingJSON
 		}
-		cl, err := client.New(client.Config{Addr: remoteAddr, Encoding: enc})
+		cl, err := client.New(client.Config{Addr: remoteAddr, Encoding: enc, TCPAddr: remoteTCP})
 		if err != nil {
 			return err
 		}
 		defer cl.Close()
 		fcfg.Remote = cl
-		fmt.Fprintf(w, "fleet: decisions served by dejavud at %s (%s encoding)\n",
-			remoteAddr, map[bool]string{true: "json", false: "binary"}[remoteJSON])
+		if remoteTCP != "" {
+			fmt.Fprintf(w, "fleet: decisions served by dejavud over raw TCP at %s (%s encoding, admin via %s)\n",
+				remoteTCP, map[bool]string{true: "json", false: "binary"}[remoteJSON], remoteAddr)
+		} else {
+			fmt.Fprintf(w, "fleet: decisions served by dejavud at %s (%s encoding)\n",
+				remoteAddr, map[bool]string{true: "json", false: "binary"}[remoteJSON])
+		}
 	}
 	res, err := fleet.Run(fcfg)
 	if err != nil {

@@ -26,7 +26,7 @@ func TestRunWithInterference(t *testing.T) {
 
 func TestRunFleet(t *testing.T) {
 	var out bytes.Buffer
-	if err := runFleet(&out, 4, 2, 2, 1, false, false, "", false); err != nil {
+	if err := runFleet(&out, 4, 2, 2, 1, false, false, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 	report := out.String()
@@ -39,7 +39,7 @@ func TestRunFleet(t *testing.T) {
 
 func TestRunFleetHeteroInterference(t *testing.T) {
 	var out bytes.Buffer
-	if err := runFleet(&out, 5, 0, 2, 1, true, true, "", false); err != nil {
+	if err := runFleet(&out, 5, 0, 2, 1, true, true, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 	report := out.String()

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -189,7 +190,9 @@ func loadOrLearn(name, snapPath string, seed int64, workers int) (repo *core.Rep
 }
 
 func run() error {
-	addr := flag.String("addr", ":7700", "listen address")
+	addr := flag.String("addr", ":7700", "HTTP listen address (decisions, admin, metrics)")
+	tcpAddr := flag.String("tcp-addr", "", `raw-TCP decision listen address (e.g. ":7701"); empty disables the TCP plane`)
+	accepters := flag.Int("tcp-accepters", 1, "parallel accept loops on the TCP decision listener")
 	serviceName := flag.String("service", "cassandra", "single service template (compatibility alias for -services)")
 	servicesFlag := flag.String("services", "", `comma-separated service templates to serve (e.g. "cassandra,specweb"); "none" starts install-only`)
 	snapshot := flag.String("snapshot", "dejavud-repo.json", "repository snapshot path (load on start, write on shutdown); %s substitutes the template id; empty disables persistence")
@@ -270,7 +273,7 @@ func run() error {
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
 		if len(names) == 0 {
 			log.Printf("dejavud: serving on %s with no templates — waiting for /v1/install", *addr)
@@ -281,6 +284,24 @@ func run() error {
 			errCh <- err
 		}
 	}()
+
+	// The raw-TCP decision plane rides beside HTTP: same templates,
+	// same decide path, no HTTP framing. Clients opt in with
+	// tcp://host:port (admin traffic stays on -addr).
+	var tcpSrv *server.TCPServer
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			return fmt.Errorf("tcp decision listener: %w", err)
+		}
+		tcpSrv = server.NewTCP(s, server.TCPConfig{Accepters: *accepters})
+		go func() {
+			log.Printf("dejavud: serving raw-TCP decisions on %s (%d accepters)", *tcpAddr, *accepters)
+			if err := tcpSrv.Serve(ln); err != nil {
+				errCh <- err
+			}
+		}()
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -296,6 +317,11 @@ func run() error {
 	defer shutdownCancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("dejavud: drain: %v", err)
+	}
+	if tcpSrv != nil {
+		if err := tcpSrv.Close(); err != nil {
+			log.Printf("dejavud: tcp drain: %v", err)
+		}
 	}
 	if *snapshot != "" {
 		results, err := s.Snapshot()

@@ -25,19 +25,43 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/wire"
+)
+
+// Transport names the decision-path transport.
+const (
+	// TransportHTTP carries decisions as HTTP/1.1 POSTs (the
+	// compat/admin plane's protocol).
+	TransportHTTP = "http"
+	// TransportTCP carries decisions as wire envelopes over
+	// persistent raw TCP connections.
+	TransportTCP = "tcp"
 )
 
 // Config assembles a Client.
 type Config struct {
-	// Addr is the dejavud host:port; required.
+	// Addr is the dejavud HTTP host:port. Required unless the client
+	// is decisions-only over TCP (TCPAddr set, or Addr itself given
+	// as "tcp://host:port"); admin calls (install, stats, snapshot)
+	// always use this HTTP plane.
 	Addr string
+	// Transport selects the decision-path transport: TransportHTTP
+	// (the default) or TransportTCP. Setting TCPAddr implies
+	// TransportTCP.
+	Transport string
+	// TCPAddr is the daemon's raw-TCP decision port, host:port with
+	// an optional tcp:// prefix. Decisions use it when Transport is
+	// TransportTCP; the admin plane stays on Addr.
+	TCPAddr string
 	// Encoding selects the decision-path codec (default
 	// wire.EncodingBinary; the JSON compatibility path is for old
 	// daemons and debugging).
@@ -53,6 +77,14 @@ type Config struct {
 	// Backoff is the first retry's delay, doubling per attempt
 	// (default 10ms).
 	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 1s): without a cap a long
+	// retry budget sleeps for the full exponential sum during an
+	// outage.
+	MaxBackoff time.Duration
+	// RetryJitterSeed seeds the retry jitter stream (default 1).
+	// Fleet harnesses derive distinct seeds per client so coordinated
+	// failures do not retry in lockstep into a recovering daemon.
+	RetryJitterSeed int64
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
 	// RequestTimeout bounds one round trip (default 30s).
@@ -63,8 +95,33 @@ type Config struct {
 }
 
 func (c *Config) defaults() error {
-	if c.Addr == "" {
-		return errors.New("client: Config.Addr must be set")
+	// "tcp://host:port" as the address is shorthand for a
+	// decisions-only TCP client (no admin plane).
+	if strings.HasPrefix(c.Addr, "tcp://") {
+		if c.TCPAddr == "" {
+			c.TCPAddr = strings.TrimPrefix(c.Addr, "tcp://")
+		}
+		c.Addr = ""
+	}
+	c.TCPAddr = strings.TrimPrefix(c.TCPAddr, "tcp://")
+	if c.Transport == "" {
+		if c.TCPAddr != "" {
+			c.Transport = TransportTCP
+		} else {
+			c.Transport = TransportHTTP
+		}
+	}
+	switch c.Transport {
+	case TransportHTTP:
+		if c.Addr == "" {
+			return errors.New("client: Config.Addr must be set")
+		}
+	case TransportTCP:
+		if c.TCPAddr == "" {
+			return errors.New("client: TransportTCP needs Config.TCPAddr (or a tcp:// Addr)")
+		}
+	default:
+		return fmt.Errorf("client: unknown transport %q", c.Transport)
 	}
 	if c.MaxIdleConns <= 0 {
 		c.MaxIdleConns = 8
@@ -76,6 +133,12 @@ func (c *Config) defaults() error {
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.RetryJitterSeed == 0 {
+		c.RetryJitterSeed = 1
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
@@ -89,9 +152,18 @@ func (c *Config) defaults() error {
 // Client is a pooled dejavud client; safe for concurrent use.
 type Client struct {
 	cfg      Config
-	idle     chan *conn
-	payloads sync.Pool // *[]byte: decision payload encode scratch
+	idle     chan *conn    // pooled HTTP connections
+	tcpIdle  chan *tcpConn // pooled raw-TCP decision connections
+	payloads sync.Pool     // *[]byte: decision payload encode scratch
 	closed   atomic.Bool
+	// closeCh is closed by Close so retries sleeping in backoff wake
+	// immediately instead of holding shutdown for the backoff sum.
+	closeCh chan struct{}
+
+	// jitter randomizes retry backoff so coordinated clients do not
+	// retry in lockstep. Guarded by jitterMu: the retry path is cold.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 
 	// retried counts transport-level retries, for telemetry/tests.
 	retried atomic.Int64
@@ -113,18 +185,27 @@ func New(cfg Config) (*Client, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	return &Client{cfg: cfg, idle: make(chan *conn, cfg.MaxIdleConns)}, nil
+	return &Client{
+		cfg:     cfg,
+		idle:    make(chan *conn, cfg.MaxIdleConns),
+		tcpIdle: make(chan *tcpConn, cfg.MaxIdleConns),
+		closeCh: make(chan struct{}),
+		jitter:  rng.New(cfg.RetryJitterSeed),
+	}, nil
 }
 
-// Close drops the idle pool. In-flight requests finish on their own
-// connections.
+// Close drops the idle pools and wakes any retry sleeping in backoff.
+// In-flight requests finish on their own connections.
 func (c *Client) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
+	close(c.closeCh)
 	for {
 		select {
 		case cn := <-c.idle:
+			cn.nc.Close()
+		case cn := <-c.tcpIdle:
 			cn.nc.Close()
 		default:
 			return
@@ -196,13 +277,15 @@ func (c *Client) release(cn *conn, healthy bool) {
 // returned as *APIError with the connection already released —
 // HTTP-level errors are never retried.
 func (c *Client) roundTrip(method, path, contentType string, payload []byte) (*conn, []byte, error) {
+	if c.cfg.Addr == "" {
+		return nil, nil, errors.New("client: no HTTP address configured (decisions-only tcp:// client)")
+	}
 	var lastErr error
-	backoff := c.cfg.Backoff
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			c.retried.Add(1)
-			time.Sleep(backoff)
-			backoff *= 2
+			if err := c.backoffWait(attempt); err != nil {
+				return nil, nil, fmt.Errorf("%w (last transport error: %v)", err, lastErr)
+			}
 		}
 		cn, err := c.get()
 		if err != nil {
@@ -231,6 +314,34 @@ func (c *Client) roundTrip(method, path, contentType string, payload []byte) (*c
 	}
 	return nil, nil, fmt.Errorf("client: %s %s failed after %d attempts: %w",
 		method, path, c.cfg.Retries+1, lastErr)
+}
+
+// errClosed reports a Close arriving while a retry slept in backoff.
+var errClosed = errors.New("client: closed")
+
+// backoffWait sleeps before retry number attempt (1-based), honoring
+// three policies at once: the delay doubles per attempt, is capped at
+// MaxBackoff, and carries seeded jitter in [½d, d] so coordinated
+// clients spread their retries instead of stampeding a recovering
+// daemon in lockstep. The sleep aborts immediately when Close is
+// called.
+func (c *Client) backoffWait(attempt int) error {
+	c.retried.Add(1)
+	d := c.cfg.Backoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 { // <=0: shift overflow
+		d = c.cfg.MaxBackoff
+	}
+	c.jitterMu.Lock()
+	d = d/2 + time.Duration(c.jitter.Int63n(int64(d/2)+1))
+	c.jitterMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closeCh:
+		return errClosed
+	}
 }
 
 // exchange writes one request and reads one response on cn. The
@@ -490,10 +601,6 @@ func readChunked(br *bufio.Reader, dst []byte) ([]byte, error) {
 // heap allocations once the payload pool and connection scratch have
 // warmed up (pinned by TestClientLookupZeroAlloc).
 func (c *Client) Decide(lookup bool, req *wire.Request, resp *wire.Response) error {
-	path := "/v1/classify"
-	if lookup {
-		path = "/v1/lookup"
-	}
 	bufp, _ := c.payloads.Get().(*[]byte)
 	if bufp == nil {
 		bufp = new([]byte)
@@ -504,13 +611,12 @@ func (c *Client) Decide(lookup bool, req *wire.Request, resp *wire.Response) err
 		c.payloads.Put(bufp)
 		return err // encoding errors are the caller's, never retried
 	}
-	cn, body, err := c.roundTrip("POST", path, c.cfg.Encoding.ContentType(), payload)
-	c.payloads.Put(bufp) // roundTrip has fully written (or abandoned) the payload
-	if err != nil {
-		return err
+	if c.cfg.Transport == TransportTCP {
+		err = c.decideTCP(lookup, payload, resp)
+	} else {
+		err = c.decideHTTP(lookup, payload, resp)
 	}
-	err = resp.Decode(c.cfg.Encoding, body)
-	c.release(cn, err == nil)
+	c.payloads.Put(bufp) // the transport has fully written (or abandoned) the payload
 	if err != nil {
 		return err
 	}
@@ -518,4 +624,20 @@ func (c *Client) Decide(lookup bool, req *wire.Request, resp *wire.Response) err
 		return fmt.Errorf("client: %d results for %d signatures", len(resp.Results), req.Rows())
 	}
 	return nil
+}
+
+// decideHTTP carries one encoded decision payload over the HTTP
+// plane and decodes the reply into resp.
+func (c *Client) decideHTTP(lookup bool, payload []byte, resp *wire.Response) error {
+	path := "/v1/classify"
+	if lookup {
+		path = "/v1/lookup"
+	}
+	cn, body, err := c.roundTrip("POST", path, c.cfg.Encoding.ContentType(), payload)
+	if err != nil {
+		return err
+	}
+	err = resp.Decode(c.cfg.Encoding, body)
+	c.release(cn, err == nil)
+	return err
 }

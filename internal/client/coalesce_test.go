@@ -1,0 +1,219 @@
+package client
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// cannedResults builds the HTTP bytes of a lookup reply carrying n
+// decisions, for stub servers that deliberately mis-size batches.
+func cannedResults(n int) []byte {
+	resp := wire.Response{Version: 3, Lookup: true}
+	for i := 0; i < n; i++ {
+		resp.Results = append(resp.Results, wire.Decision{Class: 1, Certainty: 0.9, Hit: true, Type: 2, Count: 4})
+	}
+	frame := resp.AppendBinary(nil)
+	head := []byte(fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		wire.ContentTypeBinary, len(frame)))
+	return append(head, frame...)
+}
+
+// sourceEvents fabricates a width-w event tuple for stub-server
+// sources.
+func sourceEvents(w int) []metrics.Event {
+	events := make([]metrics.Event, w)
+	for i := range events {
+		events[i] = metrics.Event(fmt.Sprintf("ev%d", i))
+	}
+	return events
+}
+
+// TestCoalesceFlushShortBatch is the S-fix regression for the
+// coalescer's fan-out: a flush whose response carries fewer results
+// than the batch has waiters must fan an error to every waiter. The
+// pre-fix code indexed resp.Results[i] unchecked, panicking the
+// flushing goroutine and stranding the remaining waiters forever.
+func TestCoalesceFlushShortBatch(t *testing.T) {
+	// The stub always answers with 2 results; the batch under flush
+	// carries 2 rows but 3 waiters, modeling any drift between the
+	// request assembled and the waiters registered.
+	addr := cannedServer(t, cannedResults(2))
+	c, err := New(Config{Addr: addr, Encoding: wire.EncodingBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	src, err := c.Source("cassandra", sourceEvents(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := newCoalescer(src, CoalesceConfig{MaxBatch: 8, MaxDelay: time.Hour})
+
+	b := &openBatch{bucket: 0}
+	b.req.SetTemplate("cassandra")
+	b.req.AppendRow([]float64{1, 2, 3})
+	b.req.AppendRow([]float64{4, 5, 6})
+	waiters := make([]chan batchResult, 3)
+	for i := range waiters {
+		waiters[i] = make(chan batchResult, 1)
+		b.waiters = append(b.waiters, waiters[i])
+	}
+	co.flush(b)
+	for i, w := range waiters {
+		select {
+		case r := <-w:
+			if r.err == nil {
+				t.Errorf("waiter %d: got a decision from a short batch: %+v", i, r.res)
+			} else if !strings.Contains(r.err.Error(), "results") {
+				t.Errorf("waiter %d: error %v", i, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d stranded after short-batch flush", i)
+		}
+	}
+}
+
+// TestCoalesceTruncatedBatchResponse drives the same defect end to
+// end: a daemon answering a coalesced 2-row batch with 1 result must
+// error out both lookups — neither caller hangs, nothing panics.
+func TestCoalesceTruncatedBatchResponse(t *testing.T) {
+	addr := cannedServer(t, cannedResults(1))
+	c, err := New(Config{
+		Addr:     addr,
+		Encoding: wire.EncodingBinary,
+		Coalesce: CoalesceConfig{MaxBatch: 2, MaxDelay: 0}, // flush exactly on full
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	events := sourceEvents(3)
+	src, err := c.Source("cassandra", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			sig := &core.Signature{Events: events, Values: []float64{1, 2, 3}}
+			_, err := src.Lookup(sig, 0)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("lookup against a truncating daemon succeeded")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("lookup stranded by truncated batch response")
+		}
+	}
+}
+
+// TestCoalesceFlushOnFullOnly is the S-fix regression for
+// MaxDelay == 0: with MaxBatch > 0 it must mean flush-on-full only.
+// The pre-fix code defaulted the zero delay to 500µs (and would have
+// armed time.AfterFunc(0) otherwise), flushing partial batches and
+// silently disabling the requested semantics.
+func TestCoalesceFlushOnFullOnly(t *testing.T) {
+	repo := learnRepo(t, 67)
+	addr, srv := startDaemon(t, map[string]*core.Repository{"cassandra": repo}, server.Config{})
+	c, err := New(Config{
+		Addr:     addr,
+		Coalesce: CoalesceConfig{MaxBatch: 3, MaxDelay: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	src, err := c.Source("cassandra", repo.EventsRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := foreseen(t, repo, 68, 300)
+	lookup := func(done chan<- error) {
+		sig := &core.Signature{Events: repo.EventsRef(), Values: vals}
+		_, err := src.Lookup(sig, 0)
+		done <- err
+	}
+	done := make(chan error, 3)
+	go lookup(done)
+	go lookup(done)
+	// No timer may flush the 2-row batch: nothing completes and no
+	// wire request leaves while the batch is short of MaxBatch.
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("partial batch flushed with MaxDelay == 0 (lookup returned %v)", err)
+	default:
+	}
+	if got := srv.StatsSnapshot().LookupReqs; got != 0 {
+		t.Fatalf("%d wire requests left before the batch was full", got)
+	}
+	// The third lookup fills the batch; everyone completes.
+	go lookup(done)
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("full batch did not flush")
+		}
+	}
+	if got := srv.StatsSnapshot().LookupReqs; got != 1 {
+		t.Errorf("full batch took %d wire requests, want 1", got)
+	}
+}
+
+// TestCoalesceTimerFullRace hammers the timer-driven and full-driven
+// flush paths against each other (run under -race in CI): every
+// lookup must complete exactly once whichever side wins the flush.
+func TestCoalesceTimerFullRace(t *testing.T) {
+	repo := learnRepo(t, 67)
+	addr, _ := startDaemon(t, map[string]*core.Repository{"cassandra": repo}, server.Config{})
+	c, err := New(Config{
+		Addr:     addr,
+		Coalesce: CoalesceConfig{MaxBatch: 2, MaxDelay: 50 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	src, err := c.Source("cassandra", repo.EventsRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := foreseen(t, repo, 68, 300)
+	const callers = 64
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sig := &core.Signature{Events: repo.EventsRef(), Values: vals}
+			if i%3 == 0 {
+				time.Sleep(time.Duration(i) * 10 * time.Microsecond)
+			}
+			_, errs[i] = src.Lookup(sig, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+}

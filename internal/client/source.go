@@ -19,8 +19,11 @@ type CoalesceConfig struct {
 	// (default 16). Zero MaxBatch and MaxDelay disables coalescing.
 	MaxBatch int
 	// MaxDelay flushes a non-full batch this long after its first
-	// signature (default 500µs) — the latency bound a lookup pays for
-	// sharing a round trip.
+	// signature — the latency bound a lookup pays for sharing a round
+	// trip (default 500µs when MaxBatch is unset). MaxDelay == 0 with
+	// MaxBatch > 0 means flush-on-full only: no timer is armed, and a
+	// lookup waits until MaxBatch-1 peers join its batch. That shape
+	// fits steady high-rate callers that never want a partial flush.
 	MaxDelay time.Duration
 }
 
@@ -29,9 +32,14 @@ func (c CoalesceConfig) enabled() bool { return c.MaxBatch > 0 || c.MaxDelay > 0
 func (c *CoalesceConfig) defaults() {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 16
+		// Only delay-driven coalescing was asked for; without a
+		// default delay the batch would wait forever for 15 peers.
+		if c.MaxDelay <= 0 {
+			c.MaxDelay = 500 * time.Microsecond
+		}
 	}
-	if c.MaxDelay <= 0 {
-		c.MaxDelay = 500 * time.Microsecond
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
 	}
 }
 
@@ -206,8 +214,13 @@ func (co *coalescer) lookup(values []float64, bucket int) (core.LookupResult, er
 		b.req.SetTemplate(co.src.template)
 		b.req.Bucket = bucket
 		co.pending[bucket] = b
-		batch := b
-		b.timer = time.AfterFunc(co.cfg.MaxDelay, func() { co.flush(batch) })
+		// MaxDelay == 0 means flush-on-full only: arming
+		// time.AfterFunc(0) here would fire immediately and flush
+		// batches of one, silently disabling coalescing.
+		if co.cfg.MaxDelay > 0 {
+			batch := b
+			b.timer = time.AfterFunc(co.cfg.MaxDelay, func() { co.flush(batch) })
+		}
 	}
 	b.req.AppendRow(values)
 	b.waiters = append(b.waiters, done)
@@ -228,7 +241,9 @@ func (co *coalescer) flush(b *openBatch) {
 		return
 	}
 	b.flushed = true
-	b.timer.Stop()
+	if b.timer != nil {
+		b.timer.Stop()
+	}
 	if co.pending[b.bucket] == b {
 		delete(co.pending, b.bucket)
 	}
@@ -236,6 +251,15 @@ func (co *coalescer) flush(b *openBatch) {
 
 	var resp wire.Response
 	err := co.src.c.Decide(true, &b.req, &resp)
+	// A response that does not carry exactly one result per waiter
+	// must fan an error to everyone: indexing resp.Results[i] past a
+	// short batch would panic this goroutine — possibly the shared
+	// time.AfterFunc timer goroutine — and strand every other waiter
+	// on <-done forever.
+	if err == nil && len(resp.Results) != len(b.waiters) {
+		err = fmt.Errorf("client: coalesced batch of %d signatures got %d results",
+			len(b.waiters), len(resp.Results))
+	}
 	for i, w := range b.waiters {
 		if err != nil {
 			w <- batchResult{err: err}

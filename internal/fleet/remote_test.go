@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
@@ -192,6 +193,14 @@ func TestFleetRemoteEquivalence(t *testing.T) {
 		t.Errorf("daemon rejected %d requests", st.BadRequests)
 	}
 
+	compareFleetResults(t, local, remote)
+}
+
+// compareFleetResults pins the remote-equivalence bar shared by the
+// HTTP and TCP transports: group statistics equal exactly and every
+// VM's step records match field for field.
+func compareFleetResults(t *testing.T, local, remote *Result) {
+	t.Helper()
 	// The remote run's repository statistics equal the in-process
 	// run's exactly.
 	if len(remote.Groups) != len(local.Groups) {
@@ -237,4 +246,78 @@ func TestFleetRemoteEquivalence(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestFleetRemoteTCPEquivalence holds the remote fleet to the same
+// bar over the raw-TCP decision transport: decisions ride wire
+// envelopes on persistent TCP connections (admin stays HTTP for the
+// installs), and the run is byte-identical to the in-process fleet at
+// the same seed — same step records, hit/miss counters, and
+// tuner-cache stats as the PR 5 HTTP integration test pins.
+func TestFleetRemoteTCPEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fleet runs")
+	}
+	const vms = 25
+	const seed = 42
+
+	scenario := func() []sim.VMSpec {
+		specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+			Rng:         rand.New(rand.NewSource(seed)),
+			VMs:         vms,
+			Days:        1,
+			Homogeneous: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return specs
+	}
+
+	local, err := Run(Config{Specs: scenario()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpSrv := server.NewTCP(srv, server.TCPConfig{})
+	served := make(chan error, 1)
+	go func() { served <- tcpSrv.Serve(ln) }()
+	defer func() {
+		tcpSrv.Close()
+		if err := <-served; err != nil {
+			t.Errorf("tcp serve: %v", err)
+		}
+	}()
+
+	cl, err := client.New(client.Config{
+		Addr:    strings.TrimPrefix(ts.URL, "http://"),
+		TCPAddr: ln.Addr().String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	remote, err := Run(Config{Specs: scenario(), Remote: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.StatsSnapshot(); st.BadRequests != 0 {
+		t.Errorf("daemon rejected %d requests", st.BadRequests)
+	}
+	// Every fleet decision crossed the TCP plane, none the HTTP one.
+	if tcpSrv.Conns() == 0 {
+		t.Error("no TCP connections were made — decisions rode HTTP")
+	}
+	compareFleetResults(t, local, remote)
 }

@@ -228,6 +228,15 @@ func (f *DecisionFront) mirror(req *wire.Request, lookup bool) {
 		return
 	}
 	width := len(req.Row(0))
+	if width == 0 {
+		// A zero-width batch (JSON permits `"signatures":[[],[]]`)
+		// must never reach drainMirror: its flattened rows carry no
+		// row boundaries, and the drain loop's `i += width` would spin
+		// forever, wedging the mirror goroutine. The daemon will
+		// reject the request anyway — count the mirror as a drop.
+		f.mirrorDrops.Add(1)
+		return
+	}
 	job := mirrorJob{
 		lookup:   lookup,
 		template: string(req.Template),
@@ -252,6 +261,13 @@ func (f *DecisionFront) drainMirror() {
 	var req wire.Request
 	var resp wire.Response
 	for job := range f.mirrorCh {
+		if job.width <= 0 {
+			// Defense in depth: enqueue rejects zero-width jobs, but a
+			// non-positive stride here means an infinite loop — skip
+			// rather than wedge the sole drain goroutine.
+			f.mirrorFails.Add(1)
+			continue
+		}
 		req.Reset()
 		req.SetTemplate(job.template)
 		req.Bucket = job.bucket

@@ -178,3 +178,79 @@ func TestDecisionFront(t *testing.T) {
 		t.Errorf("production daemon saw %d lookups, want >= %d", got, batches)
 	}
 }
+
+// TestDecisionFrontZeroWidthMirror is the regression test for the
+// mirror wedge: a crafted zero-width batch (JSON permits
+// `"signatures":[[],[]]`) must be counted as a mirror drop at
+// enqueue, never handed to drainMirror — whose row-reassembly loop
+// advances by the row width and would spin forever on zero. The
+// pre-fix code enqueued the job and wedged the mirror goroutine for
+// the life of the front.
+func TestDecisionFrontZeroWidthMirror(t *testing.T) {
+	repo := learnFrontRepo(t, 71)
+	prodAddr, _ := startDejavud(t, repo)
+	cloneAddr, _ := startDejavud(t, learnFrontRepo(t, 71))
+	up, err := client.New(client.Config{Addr: prodAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	cl, err := client.New(client.Config{Addr: cloneAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	front, err := NewDecisionFront(DecisionFrontConfig{Upstream: up, Clone: cl, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	fts := httptest.NewServer(front.Handler())
+	defer fts.Close()
+
+	// Zero-width rows are rectangular, so they pass the ragged-batch
+	// guard and reach the mirror sampler.
+	crafted := `{"template":"cassandra","bucket":0,"signatures":[[],[]]}`
+	resp, err := http.Post(fts.URL+"/v1/lookup", wire.ContentTypeJSON, strings.NewReader(crafted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero-width batch answered %d, want 400 from the daemon", resp.StatusCode)
+	}
+	if st := front.Stats(); st.MirrorDrops != 1 {
+		t.Fatalf("zero-width batch not dropped at mirror enqueue: %+v", st)
+	}
+
+	// The drain goroutine must still be alive: a valid batch mirrors
+	// through promptly.
+	svc := services.NewCassandra()
+	prof, err := core.NewProfiler(svc, rand.New(rand.NewSource(72)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := prof.Profile(services.Workload{Clients: 300, Mix: svc.DefaultMix()}, repo.EventsRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req wire.Request
+	req.SetTemplate("cassandra")
+	req.AppendRow(sig.Values)
+	payload := req.AppendJSON(nil)
+	resp, err = http.Post(fts.URL+"/v1/lookup", wire.ContentTypeJSON, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid batch after crafted one: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for front.Stats().Mirrored == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := front.Stats(); st.Mirrored != 1 {
+		t.Errorf("mirror goroutine wedged after zero-width batch: %+v", st)
+	}
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Raw-TCP decision plane. HTTP remains the admin/compat plane
+// (install, stats, snapshot, metrics); this listener serves only the
+// hot path — classify and lookup — as wire envelopes over persistent
+// connections, through the same pooled-scratch decide() the HTTP
+// adapter uses. Per connection: one hello exchange negotiating the
+// payload encoding, then a sequence of request envelopes answered in
+// order (clients match responses by id, so they may pipeline).
+// Request errors are answered with error envelopes and the
+// connection stays up; only framing-level corruption closes it.
+
+// TCPConfig configures the raw-TCP decision listener.
+type TCPConfig struct {
+	// Accepters is the number of parallel accept loops draining the
+	// listener — per-core accept loops for multi-core serving.
+	// Defaults to 1.
+	Accepters int
+}
+
+func (c *TCPConfig) defaults() {
+	if c.Accepters <= 0 {
+		c.Accepters = 1
+	}
+}
+
+// TCPServer serves a Server's decision path over raw TCP.
+type TCPServer struct {
+	s   *Server
+	cfg TCPConfig
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	tcpConns atomic.Int64 // accepted connections, lifetime
+}
+
+// NewTCP wraps a Server with the raw-TCP decision plane.
+func NewTCP(s *Server, cfg TCPConfig) *TCPServer {
+	cfg.defaults()
+	return &TCPServer{s: s, cfg: cfg, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on ln until Close, running
+// cfg.Accepters parallel accept loops. It blocks until the listener
+// shuts down and returns nil on a Close-initiated shutdown. Serve
+// may be called on several listeners (sharded listeners each get
+// their own accept loops).
+func (t *TCPServer) Serve(ln net.Listener) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return errors.New("server: tcp listener is closed")
+	}
+	t.lns = append(t.lns, ln)
+	t.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, t.cfg.Accepters)
+	for i := 0; i < t.cfg.Accepters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errc <- t.acceptLoop(ln)
+		}()
+	}
+	wg.Wait()
+	// All accepters fail for the same reason; report the first.
+	return <-errc
+}
+
+func (t *TCPServer) acceptLoop(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if t.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("server: tcp accept: %w", err)
+		}
+		if !t.track(nc) {
+			nc.Close()
+			return nil
+		}
+		t.tcpConns.Add(1)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer t.untrack(nc)
+			t.serveConn(nc)
+		}()
+	}
+}
+
+func (t *TCPServer) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *TCPServer) track(nc net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.conns[nc] = struct{}{}
+	return true
+}
+
+func (t *TCPServer) untrack(nc net.Conn) {
+	nc.Close()
+	t.mu.Lock()
+	delete(t.conns, nc)
+	t.mu.Unlock()
+}
+
+// Conns reports the number of connections accepted over the
+// listener's lifetime.
+func (t *TCPServer) Conns() int64 { return t.tcpConns.Load() }
+
+// Close shuts the listeners, closes every live connection, and waits
+// for the per-connection goroutines to drain.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	lns := t.lns
+	t.lns = nil
+	for nc := range t.conns {
+		nc.Close()
+	}
+	t.mu.Unlock()
+	var first error
+	for _, ln := range lns {
+		if err := ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.wg.Wait()
+	return first
+}
+
+// serveConn owns one connection: hello exchange, then envelopes
+// until the peer closes or the framing breaks. The whole loop runs
+// on one goroutine with one pooled scratch and the Stream's own
+// buffers, so steady-state decisions allocate nothing.
+func (t *TCPServer) serveConn(nc net.Conn) {
+	st := wire.NewStream(nc)
+	enc, err := st.ReadClientHello()
+	if err != nil {
+		t.s.badRequests.Add(1)
+		return
+	}
+	if err := st.WriteServerHello(enc); err != nil {
+		return
+	}
+	sc := t.s.pool.Get().(*scratch)
+	defer t.s.pool.Put(sc)
+	maxPayload := int(t.s.cfg.MaxBodyBytes)
+	for {
+		id, flags, payload, err := st.ReadEnvelope(maxPayload)
+		if err != nil {
+			// Clean close (io.EOF), peer death, or framing corruption:
+			// either way the session is over. A desynchronized stream
+			// cannot be answered — there is no envelope to address the
+			// error to.
+			return
+		}
+		lookup := flags&wire.StreamFlagLookup != 0
+		if lookup {
+			t.s.lookupReqs.Add(1)
+		} else {
+			t.s.classifyReqs.Add(1)
+		}
+		// The payload aliases the Stream's read scratch; decide()
+		// consumes it before the next ReadEnvelope overwrites it.
+		sc.body = payload
+		out, err := t.s.decide(enc, sc, lookup)
+		if err != nil {
+			t.s.badRequests.Add(1)
+			if werr := st.WriteEnvelope(id, wire.StreamFlagError, appendErrString(sc.out[:0], err)); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := st.WriteEnvelope(id, 0, out); err != nil {
+			return
+		}
+	}
+}
+
+// appendErrString renders err into reusable scratch for an error
+// envelope. The error path is off the pinned zero-alloc route, but
+// reusing sc.out keeps it cheap anyway.
+func appendErrString(dst []byte, err error) []byte {
+	return append(dst, err.Error()...)
+}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Raw-stream transport framing. HTTP frames decision bodies with
+// Content-Length; a persistent raw TCP connection needs its own
+// session layer instead, and this file is it — deliberately thin, so
+// the payloads crossing it are the exact request/response frames the
+// codecs above already produce:
+//
+//	client hello := 'D' 'J' 'V' 'S' ver:u8 enc:u8
+//	server hello := 'D' 'J' 'V' 'S' ver:u8 enc:u8
+//	envelope     := elen:u32 id:u32 flags:u8 payload
+//
+// The hello exchange is the content negotiation the HTTP plane does
+// with Content-Type: the client names the encoding it will send
+// (EncodingJSON or EncodingBinary) plus the protocol version byte,
+// and the server echoes the encoding it accepts — today always the
+// requested one — or closes on a version it does not speak. Both
+// sides fail loudly on a magic or version mismatch, so a stray
+// HTTP client (or an old peer) never silently misparses.
+//
+// Every envelope after the hello carries a caller-chosen request id.
+// Responses echo the id of the request they answer, which is what
+// lets a client pipeline many requests down one connection and match
+// replies even if a future server answers them out of order (the
+// current server answers in request order; clients MUST match by id,
+// not by position). elen is little-endian and counts every byte
+// after itself (id + flags + payload). On request envelopes flag
+// bit0 distinguishes lookup (set) from classify (clear); on response
+// envelopes flag bit0 set marks an error reply whose payload is a
+// UTF-8 message instead of a wire frame.
+//
+// A Stream owns one connection's read/write buffers: envelope reads
+// land in a reusable payload scratch, envelope writes are assembled
+// in a reusable build buffer and issued as one Write (one packet
+// under TCP_NODELAY). Steady-state envelope traffic is therefore
+// allocation-free once the buffers have warmed up to the workload's
+// message sizes.
+
+// Stream protocol constants.
+const (
+	// StreamVersion is the raw-stream session-layer version emitted
+	// and accepted by this package. It is deliberately separate from
+	// the payload codec Version: the envelope layout can evolve
+	// without touching the frame codecs, and vice versa.
+	StreamVersion = 1
+
+	// StreamFlagLookup marks a request envelope as a lookup (clear =
+	// classify).
+	StreamFlagLookup = 0x01
+	// StreamFlagError marks a response envelope whose payload is a
+	// UTF-8 error message rather than a response frame.
+	StreamFlagError = 0x01
+
+	// helloLen is the wire size of either hello.
+	helloLen = 6
+	// envelopeHeaderLen is id + flags, the fixed bytes elen counts
+	// beyond the payload.
+	envelopeHeaderLen = 5
+)
+
+// streamMagic guards against cross-protocol connections (an HTTP
+// client dialing the TCP port, or vice versa).
+var streamMagic = [4]byte{'D', 'J', 'V', 'S'}
+
+// errStreamTruncated reports a connection that died mid-frame.
+var errStreamTruncated = errors.New("wire: stream truncated mid-frame")
+
+// Stream frames wire envelopes over one byte-stream connection,
+// owning the connection's read/write scratch. Not safe for
+// concurrent use: callers serialize, or split reads and writes onto
+// two Streams over the same connection.
+type Stream struct {
+	br *bufio.Reader
+	w  io.Writer
+
+	payload []byte // envelope read scratch; aliased by ReadEnvelope results
+	wbuf    []byte // envelope write scratch
+
+	// hdr is the envelope header read scratch. A stack array would
+	// escape through the io.ReadFull interface call and cost one
+	// allocation per envelope; a field on the already-heap Stream
+	// does not.
+	hdr [4 + envelopeHeaderLen]byte
+}
+
+// NewStream wraps one connection. The read side is buffered here;
+// callers must not read from rw behind the Stream's back.
+func NewStream(rw io.ReadWriter) *Stream {
+	return &Stream{br: bufio.NewReaderSize(rw, 16<<10), w: rw}
+}
+
+// WriteClientHello sends the client half of the handshake, naming
+// the payload encoding this connection will carry.
+func (s *Stream) WriteClientHello(enc Encoding) error {
+	return s.writeHello(enc)
+}
+
+// WriteServerHello sends the server half of the handshake, echoing
+// the encoding the server accepted.
+func (s *Stream) WriteServerHello(enc Encoding) error {
+	return s.writeHello(enc)
+}
+
+func (s *Stream) writeHello(enc Encoding) error {
+	var b [helloLen]byte
+	copy(b[:], streamMagic[:])
+	b[4] = StreamVersion
+	b[5] = byte(enc)
+	_, err := s.w.Write(b[:])
+	return err
+}
+
+// ReadClientHello validates the peer's hello and returns the
+// encoding it negotiated. The errors are deliberately specific: a
+// magic mismatch means a foreign protocol hit the port, a version
+// mismatch means a peer from another release.
+func (s *Stream) ReadClientHello() (Encoding, error) { return s.readHello() }
+
+// ReadServerHello validates the server's hello and returns the
+// encoding the server accepted; callers should verify it matches the
+// one they requested.
+func (s *Stream) ReadServerHello() (Encoding, error) { return s.readHello() }
+
+func (s *Stream) readHello() (Encoding, error) {
+	var b [helloLen]byte
+	if _, err := io.ReadFull(s.br, b[:]); err != nil {
+		return 0, fmt.Errorf("wire: reading stream hello: %w", err)
+	}
+	if b[0] != streamMagic[0] || b[1] != streamMagic[1] || b[2] != streamMagic[2] || b[3] != streamMagic[3] {
+		return 0, fmt.Errorf("wire: bad stream magic %q (not a dejavu decision stream)", b[:4])
+	}
+	if b[4] != StreamVersion {
+		return 0, fmt.Errorf("wire: unsupported stream version %d (this side speaks %d)", b[4], StreamVersion)
+	}
+	switch Encoding(b[5]) {
+	case EncodingJSON, EncodingBinary:
+		return Encoding(b[5]), nil
+	}
+	return 0, fmt.Errorf("wire: unknown stream encoding byte %d", b[5])
+}
+
+// ReadEnvelope reads one envelope, returning its request id, flags,
+// and payload. The payload aliases the Stream's scratch — valid
+// until the next ReadEnvelope. maxPayload bounds the payload size
+// (defense against hostile or desynchronized peers); io.EOF before
+// the first header byte is returned verbatim so callers can tell a
+// clean close from a truncated frame.
+func (s *Stream) ReadEnvelope(maxPayload int) (id uint32, flags byte, payload []byte, err error) {
+	hdr := s.hdr[:]
+	if _, err := io.ReadFull(s.br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, 0, nil, io.EOF // clean close between envelopes
+		}
+		return 0, 0, nil, errStreamTruncated
+	}
+	if _, err := io.ReadFull(s.br, hdr[1:]); err != nil {
+		return 0, 0, nil, errStreamTruncated
+	}
+	elen := binary.LittleEndian.Uint32(hdr[:4])
+	if elen < envelopeHeaderLen {
+		return 0, 0, nil, fmt.Errorf("wire: envelope length %d shorter than its header", elen)
+	}
+	n := int(elen) - envelopeHeaderLen
+	if n > maxPayload {
+		return 0, 0, nil, fmt.Errorf("wire: envelope payload %d bytes exceeds limit %d", n, maxPayload)
+	}
+	id = binary.LittleEndian.Uint32(hdr[4:8])
+	flags = hdr[8]
+	if cap(s.payload) < n {
+		s.payload = make([]byte, n)
+	}
+	s.payload = s.payload[:n]
+	if _, err := io.ReadFull(s.br, s.payload); err != nil {
+		return 0, 0, nil, errStreamTruncated
+	}
+	return id, flags, s.payload, nil
+}
+
+// WriteEnvelope frames payload under (id, flags) and writes it as a
+// single Write call. The payload is copied into the Stream's write
+// scratch, so the caller's buffer is free the moment this returns.
+func (s *Stream) WriteEnvelope(id uint32, flags byte, payload []byte) error {
+	need := 4 + envelopeHeaderLen + len(payload)
+	if cap(s.wbuf) < need {
+		s.wbuf = make([]byte, 0, need)
+	}
+	b := s.wbuf[:4+envelopeHeaderLen]
+	binary.LittleEndian.PutUint32(b, uint32(envelopeHeaderLen+len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], id)
+	b[8] = flags
+	b = append(b, payload...)
+	s.wbuf = b
+	_, err := s.w.Write(b)
+	return err
+}
