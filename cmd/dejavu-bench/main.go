@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,7 +43,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/parallel"
+	"repro/internal/proxy"
 	"repro/internal/queueing"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/services"
 	"repro/internal/sim"
@@ -112,6 +115,7 @@ type ServeBench struct {
 	Batch           int     `json:"batch"`
 	Requests        int     `json:"requests"`
 	Pipeline        int     `json:"pipeline,omitempty"`
+	Replicas        int     `json:"replicas,omitempty"`
 	Cores           int     `json:"cores"`
 	Seconds         float64 `json:"seconds"`
 	DecisionsPerSec float64 `json:"decisions_per_sec"`
@@ -133,6 +137,7 @@ type ServeReport struct {
 	ServeBin          ServeBench `json:"serve_binary"`
 	ServeTCP          ServeBench `json:"serve_tcp"`
 	ServeTCPMulticore ServeBench `json:"serve_tcp_multicore"`
+	ServeReplicated   ServeBench `json:"serve_replicated"`
 }
 
 // benchServe learns a small repository, serves it through the real
@@ -228,9 +233,15 @@ func benchServe(rep *ServeReport, clients, batch, requests int) error {
 		runtime.GOMAXPROCS(prev)
 		return err
 	}
-	// Multi-core row: all cores, sharded accept loops.
+	// Multi-core rows: all cores — sharded accept loops, then the
+	// replicated decision tier.
 	runtime.GOMAXPROCS(cores)
 	rep.ServeTCPMulticore, err = benchServeTCP(tcpMultiLn.Addr().String(), sig.Values, clients, batch, requests)
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
+	}
+	rep.ServeReplicated, err = benchServeReplicated(repo, sig.Values, clients, batch, requests)
 	runtime.GOMAXPROCS(prev)
 	if err != nil {
 		return err
@@ -241,7 +252,85 @@ func benchServe(rep *ServeReport, clients, batch, requests int) error {
 	rep.ServeBin.HitPct = hitPct
 	rep.ServeTCP.HitPct = hitPct
 	rep.ServeTCPMulticore.HitPct = hitPct
+	rep.ServeReplicated.HitPct = hitPct
 	return nil
+}
+
+// serveReplicas is the tier size the serve_replicated row measures:
+// the decision front load-balancing over this many healthy dejavud
+// replicas on loopback, decisions riding each replica's raw-TCP
+// plane. The row prices the front's relay hop and the registry's
+// routing against the direct rows above it.
+const serveReplicas = 3
+
+// benchServeReplicated stands up a replicated tier — serveReplicas
+// empty dejavud instances, a registry that installs the learned
+// repository on all of them with publish-then-flip consistency, and a
+// decision front over the registry — then drives the same batched
+// binary-HTTP load at the front that benchServeEncoding drives at a
+// bare daemon.
+func benchServeReplicated(repo *core.Repository, vals []float64, clients, batch, requests int) (ServeBench, error) {
+	sb := ServeBench{Encoding: "binary", Transport: "replicated", Clients: clients, Batch: batch,
+		Requests: requests, Replicas: serveReplicas, Cores: runtime.GOMAXPROCS(0)}
+
+	specs := make([]replica.Spec, 0, serveReplicas)
+	for i := 0; i < serveReplicas; i++ {
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			return sb, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return sb, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return sb, err
+		}
+		tcpSrv := server.NewTCP(srv, server.TCPConfig{})
+		go func() { _ = tcpSrv.Serve(tcpLn) }()
+		defer tcpSrv.Close()
+		specs = append(specs, replica.Spec{
+			Name:    fmt.Sprintf("bench-r%d", i),
+			Addr:    ln.Addr().String(),
+			TCPAddr: tcpLn.Addr().String(),
+		})
+	}
+
+	reg, err := replica.New(replica.Config{Replicas: specs, Encoding: wire.EncodingBinary})
+	if err != nil {
+		return sb, err
+	}
+	defer reg.Close()
+	var buf bytes.Buffer
+	if err := core.SaveRepository(repo, &buf); err != nil {
+		return sb, err
+	}
+	if _, err := reg.InstallSerialized(server.DefaultTemplate, buf.Bytes()); err != nil {
+		return sb, err
+	}
+
+	front, err := proxy.NewDecisionFront(proxy.DecisionFrontConfig{Replicas: reg})
+	if err != nil {
+		return sb, err
+	}
+	defer front.Close()
+	frontLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sb, err
+	}
+	fhs := &http.Server{Handler: front.Handler()}
+	go func() { _ = fhs.Serve(frontLn) }()
+	defer fhs.Close()
+
+	cl, err := client.New(client.Config{Addr: frontLn.Addr().String(), Encoding: wire.EncodingBinary, MaxIdleConns: clients})
+	if err != nil {
+		return sb, err
+	}
+	return driveServeLoad(cl, sb, vals)
 }
 
 // benchServeEncoding drives one HTTP encoding's load: `clients`
@@ -460,6 +549,7 @@ func serveCheck(current, baseline *ServeReport, tolerance, binaryFloor, tcpFloor
 		{"serve_binary", current.ServeBin.DecisionsPerSec, baseline.ServeBin.DecisionsPerSec},
 		{"serve_tcp", current.ServeTCP.DecisionsPerSec, baseline.ServeTCP.DecisionsPerSec},
 		{"serve_tcp_multicore", current.ServeTCPMulticore.DecisionsPerSec, baseline.ServeTCPMulticore.DecisionsPerSec},
+		{"serve_replicated", current.ServeReplicated.DecisionsPerSec, baseline.ServeReplicated.DecisionsPerSec},
 	} {
 		if axis.bas == 0 {
 			continue // baseline predates this axis
@@ -791,10 +881,11 @@ func main() {
 			if err := serveCheck(serveRep, serveBaseline, *tolerance, *serveBinaryFloor, *serveTCPFloor); err != nil {
 				fatalf("REGRESSION: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "dejavu-bench: serve ok vs %s (json %.0f, binary %.0f, tcp %.0f decisions/s, tcp %.1fx binary, multicore %.0f @ %d cores, tcp p99 %.2fms)\n",
+			fmt.Fprintf(os.Stderr, "dejavu-bench: serve ok vs %s (json %.0f, binary %.0f, tcp %.0f decisions/s, tcp %.1fx binary, multicore %.0f @ %d cores, replicated %.0f @ %d replicas, tcp p99 %.2fms)\n",
 				*serveCheckPath, serveRep.ServeJSON.DecisionsPerSec, serveRep.ServeBin.DecisionsPerSec,
 				serveRep.ServeTCP.DecisionsPerSec, serveRep.ServeTCP.DecisionsPerSec/serveRep.ServeBin.DecisionsPerSec,
-				serveRep.ServeTCPMulticore.DecisionsPerSec, serveRep.ServeTCPMulticore.Cores, serveRep.ServeTCP.P99Ms)
+				serveRep.ServeTCPMulticore.DecisionsPerSec, serveRep.ServeTCPMulticore.Cores,
+				serveRep.ServeReplicated.DecisionsPerSec, serveRep.ServeReplicated.Replicas, serveRep.ServeTCP.P99Ms)
 		}
 		// Serve-only invocations skip the other benchmarks.
 		if *out == "" && *checkPath == "" && *learnOut == "" && *learnCheckPath == "" {

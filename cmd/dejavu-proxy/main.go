@@ -25,6 +25,21 @@
 // HTTP address may be omitted because the proxy's forwarding path is
 // decisions-only. A tcp:// prefix on -upstream or -clone does the
 // same thing.
+//
+// Replicated mode (-decision -replicas a,b,c) fronts a replicated
+// dejavud tier instead of a single upstream: health-checked
+// round-robin with automatic failover, installs published to every
+// replica with the registry's publish-then-flip version consistency,
+// puts fanned out, and dead replicas repaired from a donor when they
+// return:
+//
+//	dejavu-proxy -decision -listen :8080 -replicas host1:port,host2:port,host3:port
+//	            [-replicas-tcp tcphost1:port,tcphost2:port,tcphost3:port]
+//	            [-probe-interval 500ms] [-probe-fails 2]
+//
+// -replicas-tcp, when given, must list one raw-TCP decision address
+// per replica (same order); decisions then ride the TCP plane while
+// installs, puts, and health stay on HTTP.
 package main
 
 import (
@@ -40,6 +55,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/proxy"
+	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
@@ -54,18 +70,116 @@ func main() {
 	upstreamJSON := flag.Bool("upstream-json", false, "decision mode: talk JSON to the upstream instead of binary")
 	upstreamTCP := flag.String("upstream-tcp", "", "decision mode: upstream dejavud raw-TCP decision address")
 	cloneTCP := flag.String("clone-tcp", "", "decision mode: clone dejavud raw-TCP decision address")
+	replicas := flag.String("replicas", "", "decision mode: comma-separated replica HTTP addresses (replicated tier instead of -upstream)")
+	replicasTCP := flag.String("replicas-tcp", "", "decision mode: comma-separated replica raw-TCP decision addresses (same order as -replicas)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "replicated mode: health probe interval")
+	probeFails := flag.Int("probe-fails", 2, "replicated mode: consecutive probe failures before a replica is marked down")
 	flag.Parse()
 
 	var err error
-	if *decision {
+	switch {
+	case *decision && *replicas != "":
+		err = runReplicated(*listen, *replicas, *replicasTCP, *statsEvery, *upstreamJSON, *probeInterval, *probeFails)
+	case *decision:
 		err = runDecision(*listen, *upstream, *upstreamTCP, *clone, *cloneTCP, *sample, *statsEvery, *upstreamJSON)
-	} else {
+	default:
 		err = runByteStream(*listen, *production, *clone, *sample, *statsEvery)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dejavu-proxy:", err)
 		os.Exit(1)
 	}
+}
+
+// runReplicated serves the decision front over a replicated dejavud
+// tier until SIGINT/SIGTERM.
+func runReplicated(listen, replicas, replicasTCP string, statsEvery time.Duration, upstreamJSON bool, probeInterval time.Duration, probeFails int) error {
+	addrs := splitAddrs(replicas)
+	if len(addrs) == 0 {
+		return errors.New("-replicas needs at least one host:port")
+	}
+	tcpAddrs := splitAddrs(replicasTCP)
+	if len(tcpAddrs) != 0 && len(tcpAddrs) != len(addrs) {
+		return fmt.Errorf("-replicas-tcp lists %d addresses for %d replicas", len(tcpAddrs), len(addrs))
+	}
+	enc := wire.EncodingBinary
+	if upstreamJSON {
+		enc = wire.EncodingJSON
+	}
+	specs := make([]replica.Spec, len(addrs))
+	for i, a := range addrs {
+		specs[i] = replica.Spec{Name: a, Addr: a}
+		if len(tcpAddrs) != 0 {
+			specs[i].TCPAddr = tcpAddrs[i]
+		}
+	}
+	reg, err := replica.New(replica.Config{
+		Replicas: specs,
+		Encoding: enc,
+		Probe:    replica.ProbeConfig{Interval: probeInterval, FailAfter: probeFails},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	front, err := proxy.NewDecisionFront(proxy.DecisionFrontConfig{
+		Replicas: reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer front.Close()
+
+	srv := &http.Server{Addr: listen, Handler: front.Handler()}
+	done := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			done <- err
+		}
+	}()
+	fmt.Printf("dejavu-proxy: %s on %s -> %d replicas (%s)\n", front, listen, len(addrs), strings.Join(addrs, ", "))
+
+	ticker := time.NewTicker(statsEvery)
+	defer ticker.Stop()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			st := front.Stats()
+			ts := reg.Status()
+			healthy := 0
+			for _, r := range ts.Replicas {
+				if r.Alive && r.Synced {
+					healthy++
+				}
+			}
+			fmt.Printf("batches %d, decisions %d, errors %d, replicas %d/%d healthy, failovers %d\n",
+				st.Batches, st.Decisions, st.Errors, healthy, len(ts.Replicas), ts.Failovers)
+		case <-sigs:
+			fmt.Println("dejavu-proxy: shutting down")
+			return srv.Close()
+		case err := <-done:
+			return err
+		}
+	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // runDecision serves the decision front until SIGINT/SIGTERM.

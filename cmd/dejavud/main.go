@@ -193,6 +193,9 @@ func run() error {
 	addr := flag.String("addr", ":7700", "HTTP listen address (decisions, admin, metrics)")
 	tcpAddr := flag.String("tcp-addr", "", `raw-TCP decision listen address (e.g. ":7701"); empty disables the TCP plane`)
 	accepters := flag.Int("tcp-accepters", 1, "parallel accept loops on the TCP decision listener")
+	tcpHelloTimeout := flag.Duration("tcp-hello-timeout", 0, "deadline for a TCP client's hello (0 = default 10s, negative disables)")
+	tcpIdleTimeout := flag.Duration("tcp-idle-timeout", 0, "reap TCP connections idle this long between requests (0 = default 5m, negative disables)")
+	tcpMaxConns := flag.Int("tcp-max-conns", 0, "cap on concurrent TCP decision connections (0 = unlimited)")
 	serviceName := flag.String("service", "cassandra", "single service template (compatibility alias for -services)")
 	servicesFlag := flag.String("services", "", `comma-separated service templates to serve (e.g. "cassandra,specweb"); "none" starts install-only`)
 	snapshot := flag.String("snapshot", "dejavud-repo.json", "repository snapshot path (load on start, write on shutdown); %s substitutes the template id; empty disables persistence")
@@ -294,7 +297,12 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("tcp decision listener: %w", err)
 		}
-		tcpSrv = server.NewTCP(s, server.TCPConfig{Accepters: *accepters})
+		tcpSrv = server.NewTCP(s, server.TCPConfig{
+			Accepters:    *accepters,
+			HelloTimeout: *tcpHelloTimeout,
+			IdleTimeout:  *tcpIdleTimeout,
+			MaxConns:     *tcpMaxConns,
+		})
 		go func() {
 			log.Printf("dejavud: serving raw-TCP decisions on %s (%d accepters)", *tcpAddr, *accepters)
 			if err := tcpSrv.Serve(ln); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/url"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -51,8 +52,21 @@ func (c *Client) Install(template string, repo *core.Repository) (uint64, error)
 	if err := core.SaveRepository(repo, &buf); err != nil {
 		return 0, err
 	}
-	cn, resp, err := c.roundTrip("POST", "/v1/install?template="+url.QueryEscape(template),
-		"application/json", buf.Bytes())
+	return c.InstallSerialized(template, buf.Bytes(), 0)
+}
+
+// InstallSerialized publishes an already-serialized repository
+// (core.SaveRepository bytes), optionally forcing the published
+// version (0 = the daemon's next local increment). The replicated
+// tier fans one serialization out to N replicas at one agreed
+// version, so replicas always report identical versions for identical
+// content.
+func (c *Client) InstallSerialized(template string, data []byte, version uint64) (uint64, error) {
+	path := "/v1/install?template=" + url.QueryEscape(template)
+	if version != 0 {
+		path += "&version=" + strconv.FormatUint(version, 10)
+	}
+	cn, resp, err := c.roundTrip("POST", path, "application/json", data)
 	if err != nil {
 		return 0, fmt.Errorf("client: install template %q: %w", template, err)
 	}
@@ -65,6 +79,29 @@ func (c *Client) Install(template string, repo *core.Repository) (uint64, error)
 		return 0, err
 	}
 	return out.Version, nil
+}
+
+// DumpSerialized fetches one template's live repository as the
+// serialized core.SaveRepository bytes plus the version they were
+// dumped at — the read half of InstallSerialized. A registry resyncs
+// a rejoining replica by dumping a healthy donor and installing the
+// bytes verbatim at the same version.
+func (c *Client) DumpSerialized(template string) (uint64, []byte, error) {
+	var out struct {
+		Version uint64          `json:"version"`
+		Repo    json.RawMessage `json:"repo"`
+	}
+	path := "/v1/dump"
+	if template != "" {
+		path += "?template=" + url.QueryEscape(template)
+	}
+	if err := c.getJSON(path, &out); err != nil {
+		return 0, nil, fmt.Errorf("client: dump template %q: %w", template, err)
+	}
+	if out.Version == 0 || len(out.Repo) == 0 {
+		return 0, nil, fmt.Errorf("client: dump template %q: empty document", template)
+	}
+	return out.Version, []byte(out.Repo), nil
 }
 
 // Stats is the client's view of one template's /v1/stats document
@@ -119,4 +156,48 @@ func (c *Client) Templates() ([]TemplateInfo, error) {
 // Snapshot asks the daemon to persist every template now.
 func (c *Client) Snapshot() error {
 	return c.postJSON("/v1/snapshot", struct{}{}, nil)
+}
+
+// HealthTemplate is one template's slice of the health document.
+type HealthTemplate struct {
+	Version uint64 `json:"version"`
+	Entries int    `json:"entries"`
+}
+
+// Health is the daemon's GET /v1/health document.
+type Health struct {
+	Status        string                    `json:"status"`
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Templates     map[string]HealthTemplate `json:"templates"`
+	Relearning    bool                      `json:"relearning"`
+}
+
+// Health fetches the daemon's liveness/version surface. Unlike
+// decisions this is never retried across connections: a probe wants
+// the daemon's state now, not after a backoff — callers own the
+// failure policy. (Transport retries still apply; they are cheap and
+// a probe interval bounds them anyway.)
+func (c *Client) Health() (Health, error) {
+	var h Health
+	if err := c.getJSON("/v1/health", &h); err != nil {
+		return Health{}, err
+	}
+	if h.Status != "ok" {
+		return h, fmt.Errorf("client: daemon health status %q", h.Status)
+	}
+	return h, nil
+}
+
+// PostRawJSON relays a pre-encoded JSON body to path and returns an
+// owned copy of the response body. This is the registry's fan-out
+// primitive for control-plane endpoints (put, get) whose request
+// bodies it forwards verbatim rather than re-marshaling.
+func (c *Client) PostRawJSON(path string, body []byte) ([]byte, error) {
+	cn, resp, err := c.roundTrip("POST", path, "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), resp...) // resp aliases conn scratch
+	c.release(cn, true)
+	return out, nil
 }

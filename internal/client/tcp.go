@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -122,6 +123,42 @@ func (c *Client) decideTCP(lookup bool, payload []byte, resp *wire.Response) err
 		return nil
 	}
 	return fmt.Errorf("client: tcp decide failed after %d attempts: %w", c.cfg.Retries+1, lastErr)
+}
+
+// Ping round-trips one empty ping-flagged envelope on the raw-TCP
+// decision plane: accept, hello, framing, and the serving loop are all
+// exercised without touching a repository. Deliberately no retries —
+// a health probe wants the plane's state now, and its caller owns the
+// failure policy.
+func (c *Client) Ping() error {
+	if c.cfg.TCPAddr == "" {
+		return errors.New("client: ping needs a raw-TCP decision address")
+	}
+	cn, err := c.getTCP()
+	if err != nil {
+		return err
+	}
+	if err := cn.nc.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
+		cn.nc.Close()
+		return err
+	}
+	cn.nextID++
+	id := cn.nextID
+	if err := cn.st.WriteEnvelope(id, wire.StreamFlagPing, nil); err != nil {
+		cn.nc.Close()
+		return err
+	}
+	gotID, gotFlags, _, err := cn.st.ReadEnvelope(maxTCPResponseBytes)
+	if err != nil {
+		cn.nc.Close()
+		return err
+	}
+	if gotID != id || gotFlags&wire.StreamFlagPing == 0 {
+		cn.nc.Close()
+		return fmt.Errorf("client: tcp ping answered with id %d flags %#x", gotID, gotFlags)
+	}
+	c.releaseTCP(cn, true)
+	return nil
 }
 
 // exchangeTCP writes one request envelope and reads its response on

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 )
 
@@ -62,4 +63,46 @@ func (h *Handle) Swap(repo *Repository) (uint64, error) {
 			return next.Version, nil
 		}
 	}
+}
+
+// SwapAt publishes repo under a caller-chosen version instead of the
+// next local increment. A replicated tier needs this: every replica of
+// a template must report the same version for the same repository
+// content, so the control plane picks the version once and forces it
+// onto each replica — including a replica that restarted and lost its
+// local counter. version must not go backwards; re-publishing the
+// current version is allowed (content convergence without a visible
+// version change).
+func (h *Handle) SwapAt(repo *Repository, version uint64) error {
+	if repo == nil {
+		return errors.New("core: cannot swap in a nil repository")
+	}
+	if version == 0 {
+		return errors.New("core: version 0 is reserved (versions start at 1)")
+	}
+	for {
+		old := h.cur.Load()
+		if version < old.Version {
+			return fmt.Errorf("core: cannot swap to version %d behind current %d", version, old.Version)
+		}
+		next := &VersionedRepository{Repo: repo, Version: version}
+		if h.cur.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// NewHandleAt creates a handle owning repo at a caller-chosen version
+// — the create half of SwapAt for replicas installing a template they
+// have never seen.
+func NewHandleAt(repo *Repository, version uint64) (*Handle, error) {
+	if repo == nil {
+		return nil, errors.New("core: handle needs a repository")
+	}
+	if version == 0 {
+		return nil, errors.New("core: version 0 is reserved (versions start at 1)")
+	}
+	h := &Handle{}
+	h.cur.Store(&VersionedRepository{Repo: repo, Version: version})
+	return h, nil
 }

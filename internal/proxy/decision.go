@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/client"
+	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
@@ -28,11 +29,20 @@ import (
 //
 // The front is the horizontal-scaling seam: old JSON-only clients
 // keep their encoding at the edge while every upstream hop speaks
-// binary, and replacing Upstream with a replica selector turns it
-// into a dejavud load balancer without touching clients.
+// binary, and swapping Upstream for a replica.Registry turns it into
+// a dejavud load balancer — health-checked round-robin with failover
+// — without touching clients. In replicated mode the front also
+// exposes the tier's control plane: installs fan out with the
+// registry's publish-then-flip protocol, puts fan to every replica,
+// and /v1/health reports per-replica states.
 type DecisionFrontConfig struct {
-	// Upstream serves the real decisions; required.
+	// Upstream serves the real decisions. Exactly one of Upstream and
+	// Replicas must be set.
 	Upstream *client.Client
+	// Replicas routes decisions over a replicated dejavud tier
+	// instead of a single upstream. The front does not own the
+	// registry — the caller closes it after closing the front.
+	Replicas *replica.Registry
 	// Clone, when set, receives mirrored decision batches; replies
 	// are dropped.
 	Clone *client.Client
@@ -96,8 +106,8 @@ type frontScratch struct {
 // NewDecisionFront validates the configuration and starts the mirror
 // drain (when a clone is configured).
 func NewDecisionFront(cfg DecisionFrontConfig) (*DecisionFront, error) {
-	if cfg.Upstream == nil {
-		return nil, errors.New("proxy: DecisionFrontConfig.Upstream must be set")
+	if (cfg.Upstream == nil) == (cfg.Replicas == nil) {
+		return nil, errors.New("proxy: exactly one of Upstream and Replicas must be set")
 	}
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 1
@@ -111,6 +121,13 @@ func NewDecisionFront(cfg DecisionFrontConfig) (*DecisionFront, error) {
 	f.mux.HandleFunc("/v1/classify", func(w http.ResponseWriter, r *http.Request) { f.handleDecision(w, r, false) })
 	f.mux.HandleFunc("/v1/lookup", func(w http.ResponseWriter, r *http.Request) { f.handleDecision(w, r, true) })
 	f.mux.HandleFunc("/v1/stats", f.handleStats)
+	if cfg.Replicas != nil {
+		f.mux.HandleFunc("/v1/install", f.handleInstall)
+		f.mux.HandleFunc("/v1/put", f.handleRelay(cfg.Replicas.PutRaw))
+		f.mux.HandleFunc("/v1/get", f.handleRelay(cfg.Replicas.GetRaw))
+		f.mux.HandleFunc("/v1/templates", f.handleTemplates)
+		f.mux.HandleFunc("/v1/health", f.handleHealth)
+	}
 	if cfg.Clone != nil {
 		f.mirrorCh = make(chan mirrorJob, cfg.CloneQueue)
 		f.mirrorWg.Add(1)
@@ -199,7 +216,7 @@ func (f *DecisionFront) handleDecision(w http.ResponseWriter, r *http.Request, l
 		f.mirror(&sc.req, lookup)
 	}
 
-	if err := f.cfg.Upstream.Decide(lookup, &sc.req, &sc.resp); err != nil {
+	if err := f.decide(lookup, &sc.req, &sc.resp); err != nil {
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) {
 			f.errorsN.Add(1)
@@ -285,15 +302,131 @@ func (f *DecisionFront) drainMirror() {
 	}
 }
 
-func (f *DecisionFront) handleStats(w http.ResponseWriter, _ *http.Request) {
+// decide routes one batch to the single upstream or the replica tier.
+func (f *DecisionFront) decide(lookup bool, req *wire.Request, resp *wire.Response) error {
+	if f.cfg.Replicas != nil {
+		return f.cfg.Replicas.Decide(lookup, req, resp)
+	}
+	return f.cfg.Upstream.Decide(lookup, req, resp)
+}
+
+// handleStats serves the front's own counters, or — in replicated
+// mode, when a template is named — the tier-aggregated serving stats.
+func (f *DecisionFront) handleStats(w http.ResponseWriter, r *http.Request) {
+	if f.cfg.Replicas != nil {
+		if tpl := r.URL.Query().Get("template"); tpl != "" {
+			st, err := f.cfg.Replicas.Stats(tpl)
+			if err != nil {
+				f.relayError(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(st)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(f.Stats())
 }
 
+// relayError maps a registry error onto the front's wire contract:
+// replica-side application errors keep their status and body (the
+// front is a pass-through), everything else is a bad gateway.
+func (f *DecisionFront) relayError(w http.ResponseWriter, err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		f.errorsN.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(apiErr.Status)
+		_, _ = io.WriteString(w, apiErr.Body)
+		return
+	}
+	f.fail(w, http.StatusBadGateway, err)
+}
+
+// handleInstall accepts serialized repository bytes and publishes
+// them tier-wide through the registry's publish-then-flip protocol.
+func (f *DecisionFront) handleInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		f.fail(w, http.StatusMethodNotAllowed, errors.New("proxy: method not allowed"))
+		return
+	}
+	template := r.URL.Query().Get("template")
+	if template == "" {
+		f.fail(w, http.StatusBadRequest, errors.New("proxy: install needs ?template="))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		f.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	version, err := f.cfg.Replicas.InstallSerialized(template, body)
+	if err != nil {
+		f.relayError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"template": template, "version": version})
+}
+
+// handleRelay forwards a POSTed JSON body through one of the
+// registry's raw relays (put fan-out, get failover) and returns the
+// replica reply verbatim.
+func (f *DecisionFront) handleRelay(relay func([]byte) ([]byte, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			f.fail(w, http.StatusMethodNotAllowed, errors.New("proxy: method not allowed"))
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+		if err != nil {
+			f.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		out, err := relay(body)
+		if err != nil {
+			f.relayError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	}
+}
+
+func (f *DecisionFront) handleTemplates(w http.ResponseWriter, _ *http.Request) {
+	infos, err := f.cfg.Replicas.Templates()
+	if err != nil {
+		f.relayError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(infos)
+}
+
+// handleHealth reports the front plus the tier: per-replica health
+// states and the agreed template versions.
+func (f *DecisionFront) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	doc := struct {
+		Status string             `json:"status"`
+		Front  DecisionFrontStats `json:"front"`
+		Tier   replica.Status     `json:"tier"`
+	}{Status: "ok", Front: f.Stats(), Tier: f.cfg.Replicas.Status()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
 // String describes the front for logs.
 func (f *DecisionFront) String() string {
+	if f.cfg.Replicas != nil {
+		return "decision front (replicated tier)"
+	}
 	if f.cfg.Clone != nil {
 		return fmt.Sprintf("decision front (mirroring 1/%d batches)", f.cfg.SampleEvery)
 	}

@@ -1,0 +1,285 @@
+package replica_test
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/fleet"
+	"repro/internal/proxy"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// tierMember is one integration-test replica: a dejavud serving both
+// planes, the TCP decision plane wrapped in seeded chaos.
+type tierMember struct {
+	name    string
+	srv     *server.Server
+	hs      *httptest.Server
+	tcpSrv  *server.TCPServer
+	tcpLn   *chaos.Listener
+	tcpDone chan error
+}
+
+func (m *tierMember) spec() replica.Spec {
+	return replica.Spec{
+		Name:    m.name,
+		Addr:    strings.TrimPrefix(m.hs.URL, "http://"),
+		TCPAddr: m.tcpLn.Addr().String(),
+	}
+}
+
+// kill tears both planes down abruptly — the replica dies, it does not
+// drain.
+func (m *tierMember) kill(t *testing.T) {
+	t.Helper()
+	m.hs.CloseClientConnections()
+	m.hs.Close()
+	if err := m.tcpSrv.Close(); err != nil {
+		t.Logf("tcp close on kill: %v", err)
+	}
+	if err := <-m.tcpDone; err != nil {
+		t.Errorf("tcp serve (%s): %v", m.name, err)
+	}
+}
+
+// startTierMember brings up one replica with chaos on its decision
+// plane: faults are deterministic per (seed, connection index), and
+// SkipFirst spares the hello so chaos exercises envelope traffic (a
+// faulted hello just looks like a failed dial, which the client
+// already covers).
+func startTierMember(t *testing.T, name string, chaosCfg chaos.Config) *tierMember {
+	t.Helper()
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hs.Close()
+		t.Fatal(err)
+	}
+	cln := chaos.NewListener(ln, chaosCfg)
+	tcpSrv := server.NewTCP(srv, server.TCPConfig{})
+	m := &tierMember{name: name, srv: srv, hs: hs, tcpSrv: tcpSrv, tcpLn: cln, tcpDone: make(chan error, 1)}
+	go func() { m.tcpDone <- tcpSrv.Serve(cln) }()
+	return m
+}
+
+// TestKillReplicaUnderChaosEquivalence is the tentpole's headline
+// test: a 25-VM remote fleet at seed 42 drives the decision front over
+// a three-replica tier whose decision planes suffer seeded connection
+// drops, stalls, and truncated envelopes; one replica is killed
+// mid-load and a fresh one admitted in its place. The run must reject
+// zero requests, produce step records byte-identical to the
+// in-process fleet at the same seed, and leave every replica —
+// including the newcomer — serving the same template versions.
+func TestKillReplicaUnderChaosEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fleet runs")
+	}
+	const vms = 25
+	const seed = 42
+
+	scenario := func() []sim.VMSpec {
+		specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+			Rng:         rand.New(rand.NewSource(seed)),
+			VMs:         vms,
+			Days:        1,
+			Homogeneous: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return specs
+	}
+
+	// Reference: the in-process fleet run.
+	local, err := fleet.Run(fleet.Config{Specs: scenario()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica tier. Same chaos seed, distinct per-connection
+	// schedules (the listener derives per accepted connection).
+	chaosCfg := chaos.Config{
+		Seed:         seed,
+		DropRate:     0.004,
+		StallRate:    0.01,
+		TruncateRate: 0.004,
+		StallMax:     2 * time.Millisecond,
+		SkipFirst:    2,
+	}
+	members := make(map[string]*tierMember, 3)
+	specs := make([]replica.Spec, 0, 3)
+	for _, name := range []string{"r0", "r1", "r2"} {
+		m := startTierMember(t, name, chaosCfg)
+		members[name] = m
+		specs = append(specs, m.spec())
+	}
+
+	reg, err := replica.New(replica.Config{
+		Replicas: specs,
+		Encoding: wire.EncodingBinary,
+		Probe:    replica.ProbeConfig{Interval: 25 * time.Millisecond, FailAfter: 2},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	front, err := proxy.NewDecisionFront(proxy.DecisionFrontConfig{Replicas: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	fs := httptest.NewServer(front.Handler())
+	defer fs.Close()
+
+	cl, err := client.New(client.Config{Addr: strings.TrimPrefix(fs.URL, "http://")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The killer: once decision traffic is flowing, kill r1 outright,
+	// bring up a fresh empty replacement, and swap it into the tier.
+	// The replacement joins out of sync and must be repaired from a
+	// donor before it serves.
+	killerDone := make(chan struct{})
+	runDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		for {
+			select {
+			case <-runDone:
+				return // the run beat us; nothing left to disrupt
+			default:
+			}
+			if front.Stats().Batches >= 50 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		members["r1"].kill(t)
+		if err := reg.Remove("r1"); err != nil {
+			t.Errorf("remove killed replica: %v", err)
+			return
+		}
+		fresh := startTierMember(t, "r3", chaosCfg)
+		members["r3"] = fresh
+		if err := reg.Add(fresh.spec()); err != nil {
+			t.Errorf("admit replacement replica: %v", err)
+		}
+	}()
+
+	remote, err := fleet.Run(fleet.Config{Specs: scenario(), Remote: cl})
+	close(runDone)
+	if err != nil {
+		t.Fatalf("remote fleet run rejected requests: %v", err)
+	}
+	<-killerDone
+	delete(members, "r1")
+
+	// Zero rejected requests: the front relayed every batch.
+	if st := front.Stats(); st.Errors != 0 {
+		t.Errorf("front counted %d errors", st.Errors)
+	}
+	// The chaos plan actually fired (otherwise this test proves
+	// nothing about fault absorption).
+	var injected int64
+	for _, m := range members {
+		injected += m.tcpLn.Injected()
+	}
+	if injected == 0 {
+		t.Error("no chaos faults fired across the tier")
+	}
+	t.Logf("chaos faults injected: %d, failovers: %d, status: %+v", injected, reg.Failovers(), reg.Status())
+
+	// Byte-identical decisions: every VM's step records match the
+	// in-process run field for field. (Group hit/miss counters are NOT
+	// compared: a replica that serves a lookup whose response is then
+	// torn by chaos has counted work the client retried elsewhere, and
+	// the killed replica's counters died with it. The step records are
+	// the ground truth that the tier decided identically.)
+	if len(remote.VMResults) != len(local.VMResults) {
+		t.Fatalf("vm results: %d vs %d", len(remote.VMResults), len(local.VMResults))
+	}
+	for i := range local.VMResults {
+		lv, rv := local.VMResults[i], remote.VMResults[i]
+		if lv.TotalCost != rv.TotalCost || lv.SLOViolationFraction != rv.SLOViolationFraction ||
+			lv.Decisions != rv.Decisions {
+			t.Errorf("vm %d summary diverged: cost %v/%v, slo %v/%v, decisions %d/%d",
+				i, lv.TotalCost, rv.TotalCost, lv.SLOViolationFraction, rv.SLOViolationFraction,
+				lv.Decisions, rv.Decisions)
+		}
+		if len(lv.Records) != len(rv.Records) {
+			t.Fatalf("vm %d records: %d vs %d", i, len(lv.Records), len(rv.Records))
+		}
+		for j := range lv.Records {
+			if lv.Records[j] != rv.Records[j] {
+				t.Fatalf("vm %d step %d diverged:\nlocal:  %+v\nremote: %+v", i, j, lv.Records[j], rv.Records[j])
+			}
+		}
+	}
+	// Group identity and repository shape match (entries are state,
+	// not traffic counters, so chaos cannot skew them).
+	if len(remote.Groups) != len(local.Groups) {
+		t.Fatalf("groups: %d vs %d", len(remote.Groups), len(local.Groups))
+	}
+	for i := range local.Groups {
+		lg, rg := local.Groups[i], remote.Groups[i]
+		if lg.Service != rg.Service || lg.VMs != rg.VMs || lg.Classes != rg.Classes {
+			t.Errorf("group %d identity: %+v vs %+v", i, lg, rg)
+		}
+		if lg.RepoEntries != rg.RepoEntries {
+			t.Errorf("group %s entries: local %d, remote %d", lg.Service, lg.RepoEntries, rg.RepoEntries)
+		}
+		if lg.TunerHits != rg.TunerHits || lg.TunerMisses != rg.TunerMisses {
+			t.Errorf("group %s tuner cache: %d/%d vs %d/%d",
+				lg.Service, lg.TunerHits, lg.TunerMisses, rg.TunerHits, rg.TunerMisses)
+		}
+		if math.IsNaN(rg.RepoHitRate) {
+			t.Errorf("group %s remote hit rate is NaN", lg.Service)
+		}
+	}
+
+	// Convergence: every surviving replica — including the mid-run
+	// replacement — serves every template at the agreed version.
+	desired := reg.Status().Templates
+	if len(desired) == 0 {
+		t.Fatal("registry agreed on no templates")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for name, m := range members {
+	templates:
+		for tpl, want := range desired {
+			for {
+				if m.srv.HealthSnapshot().Templates[tpl].Version == want {
+					continue templates
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("replica %s stuck at %s@%d, want %d",
+						name, tpl, m.srv.HealthSnapshot().Templates[tpl].Version, want)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+
+	// Tear the tier down.
+	for _, m := range members {
+		m.kill(t)
+	}
+}

@@ -35,7 +35,8 @@
 //
 // Endpoints: POST /v1/classify, POST /v1/lookup (single "signature"
 // or batched "signatures"), POST /v1/put, POST /v1/get,
-// POST /v1/install, GET /v1/stats[?template=x], GET /v1/templates,
+// POST /v1/install[?version=N], GET /v1/stats[?template=x],
+// GET /v1/templates, GET /v1/health, GET /v1/dump?template=x,
 // GET /metrics (Prometheus text format), POST /v1/snapshot.
 package server
 
@@ -218,6 +219,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/install", s.methodGuard(http.MethodPost, s.handleInstall))
 	s.mux.HandleFunc("/v1/stats", s.methodGuard(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/v1/templates", s.methodGuard(http.MethodGet, s.handleTemplates))
+	s.mux.HandleFunc("/v1/health", s.methodGuard(http.MethodGet, s.handleHealth))
+	s.mux.HandleFunc("/v1/dump", s.methodGuard(http.MethodGet, s.handleDump))
 	s.mux.HandleFunc("/metrics", s.methodGuard(http.MethodGet, s.handleMetrics))
 	s.mux.HandleFunc("/v1/snapshot", s.methodGuard(http.MethodPost, s.handleSnapshot))
 	return s, nil
@@ -524,7 +527,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // serialized core.SaveRepository body: the remote control plane's way
 // to ship a learning result into a running daemon. Installing over an
 // existing template swaps (version increments, in-flight readers
-// finish on their snapshot); a new name creates the template.
+// finish on their snapshot); a new name creates the template. An
+// optional ?version=N forces the published version instead of the
+// local increment — the replicated tier's way of keeping every replica
+// of a template on the same version number even across replica
+// restarts (version must not go backwards; re-publishing the current
+// version replaces content without a version change).
 func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("template")
 	if name == "" {
@@ -535,12 +543,21 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Errorf("server: invalid template id %q", name))
 		return
 	}
+	var at uint64
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			s.badRequest(w, fmt.Errorf("server: invalid install version %q", v))
+			return
+		}
+		at = n
+	}
 	repo, err := core.LoadRepository(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.badRequest(w, err)
 		return
 	}
-	version, err := s.install(name, repo)
+	version, err := s.install(name, repo, at)
 	if err != nil {
 		s.badRequest(w, err)
 		return
@@ -554,7 +571,9 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 }
 
 // install publishes repo under the template id, creating or swapping.
-func (s *Server) install(name string, repo *core.Repository) (uint64, error) {
+// at == 0 means "next local version"; otherwise the version is forced
+// (replicated-tier alignment).
+func (s *Server) install(name string, repo *core.Repository, at uint64) (uint64, error) {
 	s.installMu.Lock()
 	defer s.installMu.Unlock()
 	old := s.templates.Load()
@@ -564,7 +583,14 @@ func (s *Server) install(name string, repo *core.Repository) (uint64, error) {
 	}
 	var version uint64
 	if existing, ok := old.byName[name]; ok {
-		v, err := existing.handle.Swap(repo)
+		var v uint64
+		var err error
+		if at != 0 {
+			err = existing.handle.SwapAt(repo, at)
+			v = at
+		} else {
+			v, err = existing.handle.Swap(repo)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -580,11 +606,18 @@ func (s *Server) install(name string, repo *core.Repository) (uint64, error) {
 		next.byName[name].relearns.Store(existing.relearns.Load())
 		next.byName[name].relearnFails.Store(existing.relearnFails.Load())
 	} else {
-		h, err := core.NewHandle(repo)
+		var h *core.Handle
+		var err error
+		if at != 0 {
+			h, err = core.NewHandleAt(repo, at)
+			version = at
+		} else {
+			h, err = core.NewHandle(repo)
+			version = 1
+		}
 		if err != nil {
 			return 0, err
 		}
-		version = 1
 		next.byName[name] = s.newTemplate(name, h)
 	}
 	s.templates.Store(next.finish())
@@ -882,6 +915,70 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(results)
+}
+
+// HealthTemplate is one template's slice of the /v1/health document:
+// just enough for a registry probe to reason about version alignment.
+type HealthTemplate struct {
+	Version uint64 `json:"version"`
+	Entries int    `json:"entries"`
+}
+
+// Health is the /v1/health document — a deliberately cheap liveness
+// and version surface: no repository traversal beyond the per-template
+// atomic snapshot loads, so probes at high frequency cost nothing
+// measurable.
+type Health struct {
+	Status        string                    `json:"status"`
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Templates     map[string]HealthTemplate `json:"templates"`
+	Relearning    bool                      `json:"relearning"`
+}
+
+// HealthSnapshot assembles the health document.
+func (s *Server) HealthSnapshot() Health {
+	set := s.templates.Load()
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Templates:     make(map[string]HealthTemplate, len(set.names)),
+		Relearning:    s.Relearning(),
+	}
+	for _, name := range set.names {
+		cur := set.byName[name].handle.Current()
+		h.Templates[name] = HealthTemplate{Version: cur.Version, Entries: cur.Repo.Len()}
+	}
+	return h
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.HealthSnapshot())
+}
+
+// handleDump streams one template's live repository as
+// {"version":N,"repo":<core.SaveRepository JSON>} — the read half of
+// /v1/install. The replicated tier uses it to resync a rejoining
+// replica from a healthy donor instead of keeping learning results
+// around, and to fan out a drift relearn that one elected replica
+// computed. The version rides inside the body so lean clients need no
+// response-header plumbing.
+func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	tpl, err := s.resolveTemplateName(r.URL.Query().Get("template"))
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	cur := tpl.handle.Current()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"version":%d,"repo":`, cur.Version)
+	if err := core.SaveRepository(cur.Repo, w); err != nil {
+		// Headers are gone; all we can do is log and cut the body short
+		// (the truncated JSON fails to parse client-side).
+		s.logf("dejavud: template %s: dump failed: %v", tpl.name, err)
+		return
+	}
+	_, _ = io.WriteString(w, "}\n")
 }
 
 // Relearning reports whether any template's background rebuild is in

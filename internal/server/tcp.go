@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -26,11 +27,31 @@ type TCPConfig struct {
 	// listener — per-core accept loops for multi-core serving.
 	// Defaults to 1.
 	Accepters int
+	// HelloTimeout bounds how long an accepted connection may take to
+	// complete the client hello (default 10s, negative disables). A
+	// client that connects and sends nothing would otherwise park a
+	// serving goroutine forever.
+	HelloTimeout time.Duration
+	// IdleTimeout bounds the wait for the next request envelope on an
+	// established session (default 5m, negative disables). Envelope
+	// bytes in flight reset it; a peer that goes silent is reaped.
+	IdleTimeout time.Duration
+	// MaxConns caps concurrent connections (0 = unbounded). Over-limit
+	// accepts are refused — closed immediately, before the hello — and
+	// counted in Stats().Refused, bounding goroutines and stream
+	// buffers under a connection flood.
+	MaxConns int
 }
 
 func (c *TCPConfig) defaults() {
 	if c.Accepters <= 0 {
 		c.Accepters = 1
+	}
+	if c.HelloTimeout == 0 {
+		c.HelloTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
 	}
 }
 
@@ -46,7 +67,8 @@ type TCPServer struct {
 
 	wg sync.WaitGroup
 
-	tcpConns atomic.Int64 // accepted connections, lifetime
+	tcpConns   atomic.Int64 // accepted connections, lifetime
+	tcpRefused atomic.Int64 // connections refused at the MaxConns cap
 }
 
 // NewTCP wraps a Server with the raw-TCP decision plane.
@@ -93,9 +115,16 @@ func (t *TCPServer) acceptLoop(ln net.Listener) error {
 			}
 			return fmt.Errorf("server: tcp accept: %w", err)
 		}
-		if !t.track(nc) {
+		ok, refused := t.track(nc)
+		if !ok {
 			nc.Close()
-			return nil
+			if refused {
+				// At the cap: refuse this connection, keep accepting —
+				// existing sessions closing frees capacity.
+				t.tcpRefused.Add(1)
+				continue
+			}
+			return nil // server closed
 		}
 		t.tcpConns.Add(1)
 		t.wg.Add(1)
@@ -113,14 +142,17 @@ func (t *TCPServer) isClosed() bool {
 	return t.closed
 }
 
-func (t *TCPServer) track(nc net.Conn) bool {
+func (t *TCPServer) track(nc net.Conn) (ok, refused bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return false
+		return false, false
+	}
+	if t.cfg.MaxConns > 0 && len(t.conns) >= t.cfg.MaxConns {
+		return false, true
 	}
 	t.conns[nc] = struct{}{}
-	return true
+	return true, false
 }
 
 func (t *TCPServer) untrack(nc net.Conn) {
@@ -133,6 +165,24 @@ func (t *TCPServer) untrack(nc net.Conn) {
 // Conns reports the number of connections accepted over the
 // listener's lifetime.
 func (t *TCPServer) Conns() int64 { return t.tcpConns.Load() }
+
+// TCPStats is a snapshot of the TCP plane's connection accounting.
+type TCPStats struct {
+	// Conns counts connections accepted over the lifetime.
+	Conns int64 `json:"conns"`
+	// Active counts currently-tracked connections.
+	Active int `json:"active"`
+	// Refused counts connections turned away at the MaxConns cap.
+	Refused int64 `json:"refused"`
+}
+
+// Stats snapshots the connection accounting.
+func (t *TCPServer) Stats() TCPStats {
+	t.mu.Lock()
+	active := len(t.conns)
+	t.mu.Unlock()
+	return TCPStats{Conns: t.tcpConns.Load(), Active: active, Refused: t.tcpRefused.Load()}
+}
 
 // Close shuts the listeners, closes every live connection, and waits
 // for the per-connection goroutines to drain.
@@ -165,6 +215,12 @@ func (t *TCPServer) Close() error {
 // buffers, so steady-state decisions allocate nothing.
 func (t *TCPServer) serveConn(nc net.Conn) {
 	st := wire.NewStream(nc)
+	// Read deadline on the hello: a connection that sends nothing (or
+	// a foreign protocol that never completes 6 bytes) is reaped
+	// instead of parking this goroutine forever.
+	if t.cfg.HelloTimeout > 0 {
+		_ = nc.SetReadDeadline(time.Now().Add(t.cfg.HelloTimeout))
+	}
 	enc, err := st.ReadClientHello()
 	if err != nil {
 		t.s.badRequests.Add(1)
@@ -177,13 +233,30 @@ func (t *TCPServer) serveConn(nc net.Conn) {
 	defer t.s.pool.Put(sc)
 	maxPayload := int(t.s.cfg.MaxBodyBytes)
 	for {
+		// Idle timeout: armed before each envelope read, so the clock
+		// restarts per request. Disabled (negative) clears any hello
+		// deadline left on the socket.
+		if t.cfg.IdleTimeout > 0 {
+			_ = nc.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
+		} else if t.cfg.HelloTimeout > 0 {
+			_ = nc.SetReadDeadline(time.Time{})
+		}
 		id, flags, payload, err := st.ReadEnvelope(maxPayload)
 		if err != nil {
-			// Clean close (io.EOF), peer death, or framing corruption:
-			// either way the session is over. A desynchronized stream
-			// cannot be answered — there is no envelope to address the
-			// error to.
+			// Clean close (io.EOF), peer death, idle-deadline expiry, or
+			// framing corruption: either way the session is over. A
+			// desynchronized stream cannot be answered — there is no
+			// envelope to address the error to.
 			return
+		}
+		if flags&wire.StreamFlagPing != 0 {
+			// Liveness probe: echo an empty ping envelope, payload
+			// untouched. Answered in request order like decisions, so a
+			// probe also proves the serving loop is draining.
+			if err := st.WriteEnvelope(id, wire.StreamFlagPing, nil); err != nil {
+				return
+			}
+			continue
 		}
 		lookup := flags&wire.StreamFlagLookup != 0
 		if lookup {

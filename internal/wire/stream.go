@@ -58,6 +58,14 @@ const (
 	// StreamFlagError marks a response envelope whose payload is a
 	// UTF-8 error message rather than a response frame.
 	StreamFlagError = 0x01
+	// StreamFlagPing marks a liveness-probe envelope: the payload is
+	// empty and never decoded, and the server answers with an empty
+	// ping-flagged envelope echoing the id. Health probes use it to
+	// verify the TCP decision plane end to end (accept, hello, framing,
+	// the serving goroutine) without touching a repository. Valid on
+	// both request and response envelopes; bit0 keeps its per-direction
+	// meaning and is ignored when the ping bit is set.
+	StreamFlagPing = 0x02
 
 	// helloLen is the wire size of either hello.
 	helloLen = 6
