@@ -9,6 +9,8 @@
 //	go run ./cmd/dejavu-bench -learn-check BENCH_learn.json  # fail on regression
 //	go run ./cmd/dejavu-bench -serve-out BENCH_serve.json    # refresh decision-service baseline
 //	go run ./cmd/dejavu-bench -serve-check BENCH_serve.json  # fail on regression
+//	go run ./cmd/dejavu-bench -scenarios-out BENCH_scenarios.json    # refresh scenario claims
+//	go run ./cmd/dejavu-bench -scenarios-check BENCH_scenarios.json  # fail on claim drift
 //
 // With -check, the run fails (exit 1) when fleet steps/s drops more
 // than -tolerance (default 20%) below the baseline, or when a
@@ -39,6 +41,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/ml"
@@ -540,6 +543,107 @@ func driveServeLoad(cl *client.Client, sb ServeBench, vals []float64) (ServeBenc
 	return sb, nil
 }
 
+// ScenarioRow is one BENCH_scenarios.json claim: a scenario kind's
+// absolute fleet metrics and its deltas against the non-adversarial
+// baseline fleet at the same seed and shape.
+type ScenarioRow struct {
+	Kind                 string  `json:"kind"`
+	HitRate              float64 `json:"hit_rate"`
+	SLOViolationFraction float64 `json:"slo_violation_fraction"`
+	CostUSD              float64 `json:"cost_usd"`
+	HitRateDelta         float64 `json:"hit_rate_delta"`
+	SLOViolationDelta    float64 `json:"slo_violation_delta"`
+	CostDeltaPct         float64 `json:"cost_delta_pct"`
+}
+
+// ScenarioReport is the BENCH_scenarios.json schema. Every row is
+// bit-deterministic at the pinned seed (the sweep runs Workers=1), so
+// drift within the gate's tolerance still indicates a real behaviour
+// change — the tolerance exists for intentional small recalibrations,
+// mirroring the serve gate's posture.
+type ScenarioReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	VMs        int           `json:"vms"`
+	Days       int           `json:"days"`
+	Baseline   ScenarioRow   `json:"baseline"`
+	Scenarios  []ScenarioRow `json:"scenarios"`
+}
+
+func scenarioRow(c experiments.ScenarioClaim) ScenarioRow {
+	return ScenarioRow{
+		Kind:                 c.Kind,
+		HitRate:              c.HitRate,
+		SLOViolationFraction: c.SLOViolationFraction,
+		CostUSD:              c.CostUSD,
+		HitRateDelta:         c.HitRateDelta,
+		SLOViolationDelta:    c.SLODelta,
+		CostDeltaPct:         c.CostDeltaPct,
+	}
+}
+
+func benchScenarios(seed int64, vms, days int) (*ScenarioReport, error) {
+	sweep, err := experiments.ScenarioSweep(experiments.ScenarioOptions{Seed: seed, VMs: vms, Days: days})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ScenarioReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       sweep.Seed,
+		VMs:        sweep.VMs,
+		Days:       sweep.Days,
+		Baseline:   scenarioRow(sweep.Baseline),
+	}
+	for _, c := range sweep.Claims {
+		rep.Scenarios = append(rep.Scenarios, scenarioRow(c))
+	}
+	return rep, nil
+}
+
+// scenariosCheck gates the claims: for every kind present in the
+// committed baseline, the hit rate and SLO-violation fraction may not
+// drift more than `tolerance` in absolute terms, and the cost may not
+// drift more than `tolerance` relatively. Kinds absent from the
+// baseline are skipped (the baseline predates them), mirroring the
+// serve gate's absent-axis skip.
+func scenariosCheck(current, baseline *ScenarioReport, tolerance float64) error {
+	rows := func(r *ScenarioReport) map[string]ScenarioRow {
+		m := map[string]ScenarioRow{r.Baseline.Kind: r.Baseline}
+		for _, s := range r.Scenarios {
+			m[s.Kind] = s
+		}
+		return m
+	}
+	cur := rows(current)
+	for kind, bas := range rows(baseline) {
+		if bas.Kind == "" {
+			continue // baseline predates this row
+		}
+		c, ok := cur[kind]
+		if !ok {
+			return fmt.Errorf("scenario %s present in baseline but missing from this run", kind)
+		}
+		if d := c.HitRate - bas.HitRate; d < -tolerance || d > tolerance {
+			return fmt.Errorf("scenario %s hit rate drifted: %.4f vs baseline %.4f (±%.2f allowed)",
+				kind, c.HitRate, bas.HitRate, tolerance)
+		}
+		if d := c.SLOViolationFraction - bas.SLOViolationFraction; d < -tolerance || d > tolerance {
+			return fmt.Errorf("scenario %s SLO-violation fraction drifted: %.4f vs baseline %.4f (±%.2f allowed)",
+				kind, c.SLOViolationFraction, bas.SLOViolationFraction, tolerance)
+		}
+		if bas.CostUSD > 0 {
+			ratio := c.CostUSD / bas.CostUSD
+			if ratio < 1-tolerance || ratio > 1+tolerance {
+				return fmt.Errorf("scenario %s cost drifted: $%.2f vs baseline $%.2f (±%d%% allowed)",
+					kind, c.CostUSD, bas.CostUSD, int(tolerance*100))
+			}
+		}
+	}
+	return nil
+}
+
 func serveCheck(current, baseline *ServeReport, tolerance, binaryFloor, tcpFloor float64) error {
 	for _, axis := range []struct {
 		name     string
@@ -864,11 +968,38 @@ func main() {
 	serveRequests := flag.Int("serve-requests", 8000, "total requests issued by the serve benchmark per encoding")
 	serveBinaryFloor := flag.Float64("serve-binary-floor", 1.5, "minimum binary/json decisions/s ratio with -serve-check")
 	serveTCPFloor := flag.Float64("serve-tcp-floor", 2.0, "minimum tcp/binary-http decisions/s ratio with -serve-check")
+	scenariosOut := flag.String("scenarios-out", "", "write adversarial scenario claims to this JSON file")
+	scenariosCheckPath := flag.String("scenarios-check", "", "compare scenario claims against this baseline JSON and fail on drift")
+	scenariosVMs := flag.Int("scenarios-vms", 8, "fleet size per scenario for the claims harness")
+	scenariosDays := flag.Int("scenarios-days", 1, "run days per scenario for the claims harness")
+	scenariosSeed := flag.Int64("scenarios-seed", 42, "seed for the claims harness")
 	flag.Parse()
 
 	baseline := readBaseline[Report](*checkPath, "fleet")
 	learnBaseline := readBaseline[LearnReport](*learnCheckPath, "learn")
 	serveBaseline := readBaseline[ServeReport](*serveCheckPath, "serve")
+	scenariosBaseline := readBaseline[ScenarioReport](*scenariosCheckPath, "scenarios")
+
+	// The adversarial-scenario claims harness runs when asked for.
+	if *scenariosOut != "" || *scenariosCheckPath != "" {
+		scenRep, err := benchScenarios(*scenariosSeed, *scenariosVMs, *scenariosDays)
+		if err != nil {
+			fatalf("scenarios: %v", err)
+		}
+		emitReport(*scenariosOut, scenRep)
+		if scenariosBaseline != nil {
+			if err := scenariosCheck(scenRep, scenariosBaseline, *tolerance); err != nil {
+				fatalf("REGRESSION: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "dejavu-bench: scenarios ok vs %s (%d adversarial kinds, baseline hit %.3f cost $%.2f)\n",
+				*scenariosCheckPath, len(scenRep.Scenarios), scenRep.Baseline.HitRate, scenRep.Baseline.CostUSD)
+		}
+		// Scenario-only invocations skip the other benchmarks.
+		if *out == "" && *checkPath == "" && *learnOut == "" && *learnCheckPath == "" &&
+			*serveOut == "" && *serveCheckPath == "" {
+			return
+		}
+	}
 
 	// The decision-service benchmark runs when asked for.
 	if *serveOut != "" || *serveCheckPath != "" {

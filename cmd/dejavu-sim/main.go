@@ -5,10 +5,18 @@
 //
 // Usage:
 //
-//	dejavu-sim [-trace hotmail|messenger] [-controller dejavu|autopilot|rightscale|fixedmax]
+//	dejavu-sim [-trace hotmail|messenger] [-replay FILE.csv]
+//	           [-controller dejavu|autopilot|rightscale|fixedmax]
 //	           [-days D] [-seed N] [-calm MINUTES] [-interference]
-//	dejavu-sim -fleet N [-workers W] [-days D] [-seed N] [-interference] [-hetero]
+//	dejavu-sim -fleet N [-scenario KIND] [-workers W] [-days D] [-seed N]
+//	           [-interference] [-hetero]
 //	           [-remote ADDR [-remote-json] [-remote-tcp ADDR]]
+//
+// With -replay, the single-VM load comes from a recorded cluster
+// trace CSV ("offset_hours,load" rows, irregular timestamps allowed)
+// resampled by zero-order hold instead of a synthetic trace. With
+// -scenario, the fleet runs one of the adversarial kinds (baseline,
+// flash-crowd, churn, workload-shift, hardware-gen, trace-replay).
 //
 // With -remote, the fleet installs each template's learned repository
 // into the dejavud daemon at ADDR and drives every runtime decision
@@ -40,6 +48,7 @@ import (
 
 func main() {
 	traceName := flag.String("trace", "messenger", "load trace: hotmail or messenger")
+	replay := flag.String("replay", "", "single-VM mode: replay a recorded cluster-trace CSV (offset_hours,load) instead of a synthetic trace")
 	controller := flag.String("controller", "dejavu", "controller: dejavu, autopilot, rightscale, fixedmax")
 	days := flag.Int("days", 7, "trace days (learning day included)")
 	seed := flag.Int64("seed", 42, "random seed")
@@ -48,6 +57,7 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "fleet mode: number of concurrently simulated VMs (0 = single-VM mode)")
 	workers := flag.Int("workers", 0, "fleet worker-pool size (default GOMAXPROCS)")
 	hetero := flag.Bool("hetero", false, "fleet mode: mix cassandra/specweb/rubis templates instead of all-cassandra")
+	scenario := flag.String("scenario", "baseline", "fleet mode: scenario kind (baseline, flash-crowd, churn, workload-shift, hardware-gen, trace-replay)")
 	remote := flag.String("remote", "", "fleet mode: drive a remote dejavud at this host:port instead of in-process repositories")
 	remoteJSON := flag.Bool("remote-json", false, "use the JSON compatibility encoding on the remote decision path (default binary)")
 	remoteTCP := flag.String("remote-tcp", "", "fleet mode: dejavud raw-TCP decision address (requires -remote for the admin plane)")
@@ -57,11 +67,13 @@ func main() {
 	if *fleetN < 0 {
 		err = fmt.Errorf("-fleet %d: fleet size cannot be negative", *fleetN)
 	} else if *fleetN > 0 {
-		err = runFleet(os.Stdout, *fleetN, *workers, *days, *seed, *interference, *hetero, *remote, *remoteJSON, *remoteTCP)
+		err = runFleet(os.Stdout, *fleetN, *workers, *days, *seed, *scenario, *interference, *hetero, *remote, *remoteJSON, *remoteTCP)
 	} else if *remote != "" || *remoteTCP != "" {
 		err = fmt.Errorf("-remote needs -fleet N")
+	} else if *scenario != "baseline" {
+		err = fmt.Errorf("-scenario needs -fleet N")
 	} else {
-		err = run(os.Stdout, *traceName, *controller, *days, *seed, *calm, *interference)
+		err = run(os.Stdout, *traceName, *replay, *controller, *days, *seed, *calm, *interference)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dejavu-sim:", err)
@@ -72,12 +84,17 @@ func main() {
 // runFleet generates an N-VM scenario and runs the fleet control
 // plane over it — against in-process repositories, or against a
 // remote dejavud when remoteAddr is set.
-func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, hetero bool, remoteAddr string, remoteJSON bool, remoteTCP string) error {
+func runFleet(w io.Writer, vms, workers, days int, seed int64, scenario string, interference, hetero bool, remoteAddr string, remoteJSON bool, remoteTCP string) error {
 	if days < 2 || days > 7 {
 		days = 2
 	}
+	kind, err := sim.ParseKind(scenario)
+	if err != nil {
+		return err
+	}
 	specs, err := sim.GenerateScenario(sim.ScenarioConfig{
 		Rng:          rand.New(rand.NewSource(seed)),
+		Kind:         kind,
 		VMs:          vms,
 		Days:         days - 1, // one learning day, the rest evaluated
 		Homogeneous:  !hetero,
@@ -85,6 +102,9 @@ func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, het
 	})
 	if err != nil {
 		return err
+	}
+	if kind != sim.KindBaseline {
+		fmt.Fprintf(w, "fleet scenario: %s\n", kind)
 	}
 	fcfg := fleet.Config{
 		Specs:                 specs,
@@ -137,22 +157,46 @@ func runFleet(w io.Writer, vms, workers, days int, seed int64, interference, het
 	return nil
 }
 
-func run(w io.Writer, traceName, controller string, days int, seed int64, calmMin int, interference bool) error {
+func run(w io.Writer, traceName, replay, controller string, days int, seed int64, calmMin int, interference bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	svc := services.NewCassandra()
 
 	var tr *trace.Trace
-	switch traceName {
-	case "hotmail":
-		tr = trace.HotMail(trace.SynthConfig{Rng: rng, DailyPhaseShift: true})
-	case "messenger":
-		tr = trace.Messenger(trace.SynthConfig{Rng: rng, DailyPhaseShift: true})
-	default:
-		return fmt.Errorf("unknown trace %q", traceName)
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return err
+		}
+		rec, err := trace.ReadSamplesCSV(f, replay)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tr, err = rec.Resample(time.Hour)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "replay: %d recorded points over %v -> %d hourly steps\n",
+			len(rec.Points), rec.Duration().Round(time.Minute), tr.Len())
+	} else {
+		switch traceName {
+		case "hotmail":
+			tr = trace.HotMail(trace.SynthConfig{Rng: rng, DailyPhaseShift: true})
+		case "messenger":
+			tr = trace.Messenger(trace.SynthConfig{Rng: rng, DailyPhaseShift: true})
+		default:
+			return fmt.Errorf("unknown trace %q", traceName)
+		}
 	}
 	tr = tr.ScaleTo(480)
 	if days < 2 || days > 7 {
 		days = 7
+	}
+	if have := tr.Len() / 24; have < days {
+		if have < 2 {
+			return fmt.Errorf("replayed trace covers %d whole day(s); need at least 2 (1 learning + 1 evaluated)", have)
+		}
+		days = have
 	}
 
 	day0, err := tr.Day(0)

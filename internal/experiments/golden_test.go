@@ -44,3 +44,16 @@ func TestFigure8GoldenFixedSeed(t *testing.T) {
 	}
 	goldenCompare(t, "figure8_seed42_days3.golden", func(b *bytes.Buffer) { r.Render(b) })
 }
+
+// TestScenarioSweepGoldenFixedSeed pins the full adversarial claims
+// table — baseline plus every scenario kind, absolutes and deltas —
+// byte-for-byte at seed 42. The sweep runs with Workers=1, so any
+// drift here means scenario generation or fleet arithmetic changed,
+// not goroutine scheduling.
+func TestScenarioSweepGoldenFixedSeed(t *testing.T) {
+	r, err := ScenarioSweep(ScenarioOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "scenarios_seed42.golden", func(b *bytes.Buffer) { r.Render(b) })
+}

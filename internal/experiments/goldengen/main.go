@@ -41,5 +41,15 @@ func main() {
 	}
 	f8.Render(out8)
 	out8.Close()
+	sweep, err := experiments.ScenarioSweep(experiments.ScenarioOptions{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	outS, err := os.Create(filepath.Join(dir, "scenarios_seed42.golden"))
+	if err != nil {
+		panic(err)
+	}
+	sweep.Render(outS)
+	outS.Close()
 	fmt.Println("golden files written to", dir)
 }

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/fleet"
+	"repro/internal/sim"
+)
+
+// The adversarial claims harness turns each scenario kind of
+// internal/sim into a measured, regression-gated claim: the same fleet
+// is run unperturbed (baseline) and once per adversarial kind, and the
+// deltas in repository hit rate, SLO-violation rate, and fleet bill
+// are the claim. One variable changes per row — the scenario kind —
+// so a drifting delta localizes to the perturbation that caused it.
+
+// ScenarioOptions configures a claims sweep.
+type ScenarioOptions struct {
+	// Seed drives every scenario; equal seeds give bit-identical
+	// sweeps.
+	Seed int64
+	// VMs is the fleet size per scenario (default 8).
+	VMs int
+	// Days is the evaluated run window in days (default 1).
+	Days int
+}
+
+func (o ScenarioOptions) vms() int {
+	if o.VMs <= 0 {
+		return 8
+	}
+	return o.VMs
+}
+
+func (o ScenarioOptions) days() int {
+	if o.Days <= 0 {
+		return 1
+	}
+	return o.Days
+}
+
+// ScenarioClaim is one row of the harness: a scenario kind's absolute
+// metrics and its deltas against the non-adversarial baseline.
+type ScenarioClaim struct {
+	// Kind is the scenario kind name (sim.ScenarioKind.String()).
+	Kind string
+	// HitRate is the fleet-wide repository hit rate.
+	HitRate float64
+	// SLOViolationFraction is the mean per-VM violation fraction.
+	SLOViolationFraction float64
+	// CostUSD is the fleet bill (cloud.FleetBill total).
+	CostUSD float64
+	// HitRateDelta and SLODelta are differences vs baseline (same
+	// units as the absolutes; positive = higher under adversity).
+	HitRateDelta, SLODelta float64
+	// CostDeltaPct is the bill change vs baseline in percent.
+	CostDeltaPct float64
+}
+
+// ScenarioSweepResult is the full sweep: the baseline row plus one
+// claim per adversarial kind, in sim.AdversarialKinds order.
+type ScenarioSweepResult struct {
+	Seed      int64
+	VMs, Days int
+	Baseline  ScenarioClaim
+	Claims    []ScenarioClaim
+}
+
+// runScenarioKind generates and runs one fleet scenario. Workers is
+// pinned to 1: sequential stepping makes every scenario — including
+// ones whose runtime lookups could insert repository entries in
+// VM-visit order — bit-deterministic, which is what lets the sweep be
+// golden-pinned and CI-gated.
+func runScenarioKind(seed int64, kind sim.ScenarioKind, vms, days int) (*fleet.Result, error) {
+	specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+		Rng:  rand.New(rand.NewSource(seed)),
+		Kind: kind,
+		VMs:  vms,
+		Days: days,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s scenario: %w", kind, err)
+	}
+	res, err := fleet.Run(fleet.Config{Specs: specs, Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s fleet: %w", kind, err)
+	}
+	return res, nil
+}
+
+func claimFrom(kind sim.ScenarioKind, res *fleet.Result) ScenarioClaim {
+	return ScenarioClaim{
+		Kind:                 kind.String(),
+		HitRate:              res.HitRate(),
+		SLOViolationFraction: res.MeanSLOViolationFraction(),
+		CostUSD:              res.TotalCost(),
+	}
+}
+
+// ScenarioSweep runs the baseline fleet and every adversarial kind at
+// the same seed and fleet shape, and reports per-kind deltas.
+func ScenarioSweep(opts ScenarioOptions) (*ScenarioSweepResult, error) {
+	vms, days := opts.vms(), opts.days()
+	baseRes, err := runScenarioKind(opts.Seed, sim.KindBaseline, vms, days)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScenarioSweepResult{
+		Seed:     opts.Seed,
+		VMs:      vms,
+		Days:     days,
+		Baseline: claimFrom(sim.KindBaseline, baseRes),
+	}
+	for _, kind := range sim.AdversarialKinds() {
+		res, err := runScenarioKind(opts.Seed, kind, vms, days)
+		if err != nil {
+			return nil, err
+		}
+		c := claimFrom(kind, res)
+		c.HitRateDelta = c.HitRate - out.Baseline.HitRate
+		c.SLODelta = c.SLOViolationFraction - out.Baseline.SLOViolationFraction
+		if out.Baseline.CostUSD > 0 {
+			c.CostDeltaPct = 100 * (c.CostUSD/out.Baseline.CostUSD - 1)
+		}
+		out.Claims = append(out.Claims, c)
+	}
+	return out, nil
+}
+
+// Render writes the sweep as a fixed-width table (golden-pinned).
+func (r *ScenarioSweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== Adversarial scenario claims (%d VMs, %d run day(s), seed %d) ===\n", r.VMs, r.Days, r.Seed)
+	fmt.Fprintf(w, "%-16s %9s %9s %11s %9s %9s %9s\n",
+		"scenario", "hit-rate", "slo-viol", "cost", "d-hit", "d-slo", "d-cost%")
+	row := func(c ScenarioClaim, baseline bool) {
+		fmt.Fprintf(w, "%-16s %9.4f %9.4f %11.2f", c.Kind, c.HitRate, c.SLOViolationFraction, c.CostUSD)
+		if baseline {
+			fmt.Fprintf(w, " %9s %9s %9s\n", "-", "-", "-")
+			return
+		}
+		fmt.Fprintf(w, " %+9.4f %+9.4f %+9.2f\n", c.HitRateDelta, c.SLODelta, c.CostDeltaPct)
+	}
+	row(r.Baseline, true)
+	for _, c := range r.Claims {
+		row(c, false)
+	}
+}

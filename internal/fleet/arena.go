@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// stepArena hands out per-VM step-record slots for the run phase. The
+// original fixed-fleet arena was a single slab with precomputed
+// offsets; dynamic membership (VMs joining and leaving mid-run) breaks
+// that layout, so the arena enforces two churn-safety invariants
+// instead:
+//
+//  1. blocks are never grown in place — when the current block is
+//     exhausted a fresh one is allocated, so slots already handed out
+//     never move under a live VM;
+//  2. released slots are drained, not recycled — a departed VM's
+//     records (and the sim.AllocRef values inside them) stay
+//     addressable until the arena itself is garbage, so live step
+//     records and aggregated results cannot end up referencing
+//     reused memory.
+//
+// Slots are three-index sub-slices (len 0, capped capacity): a VM that
+// somehow overruns its step budget appends into a private copy instead
+// of stomping a neighbour's records.
+type stepArena struct {
+	mu      sync.Mutex
+	block   []sim.StepRecord // current block; tail past used is free
+	used    int              // records handed out of the current block
+	live    int              // acquired minus released slots
+	drained int              // released (departed-VM) slots
+}
+
+// newStepArena pre-sizes the first block. Sizing it for the whole
+// expected fleet keeps the steady state at one allocation; joins
+// beyond the estimate cost one new block each, never a move.
+func newStepArena(capacity int) *stepArena {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &stepArena{block: make([]sim.StepRecord, capacity)}
+}
+
+// acquire returns a zero-length slot with capacity for n records. Safe
+// for concurrent use; the returned slot is private to the caller.
+func (a *stepArena) acquire(n int) []sim.StepRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used+n > len(a.block) {
+		// Exhausted: start a new block. The old one is intentionally
+		// abandoned to its outstanding slots — growing it would move
+		// them.
+		size := len(a.block)
+		if size < n {
+			size = n
+		}
+		a.block = make([]sim.StepRecord, size)
+		a.used = 0
+	}
+	slot := a.block[a.used : a.used : a.used+n]
+	a.used += n
+	a.live++
+	return slot
+}
+
+// release drains the slot of a VM that left the fleet. The memory is
+// not reused — draining only updates membership accounting — which is
+// precisely what keeps references held by live step records valid.
+func (a *stepArena) release() {
+	a.mu.Lock()
+	a.live--
+	a.drained++
+	a.mu.Unlock()
+}
+
+// counts reports (live, drained) slot totals, for tests and metrics.
+func (a *stepArena) counts() (live, drained int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live, a.drained
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/services"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // newRng builds a VM- or group-private splitmix64 rand source (seeding
@@ -156,6 +157,28 @@ func DefaultTuner(svc services.Service) (core.Tuner, error) {
 	}
 }
 
+// activeTrace returns the slice of a VM's run trace covered by its
+// membership window [JoinAt, LeaveAt), in whole trace samples. A VM
+// without a window (both zero) runs its full trace; spot instances
+// join late (JoinAt) and preempted ones leave early (LeaveAt), in
+// fleet-absolute run time.
+func activeTrace(spec sim.VMSpec) (*trace.Trace, error) {
+	t := spec.RunTrace
+	if spec.JoinAt == 0 && spec.LeaveAt == 0 {
+		return t, nil
+	}
+	from := int(spec.JoinAt / t.Step)
+	to := t.Len()
+	if spec.LeaveAt > 0 {
+		to = int(spec.LeaveAt / t.Step)
+	}
+	sub, err := t.Slice(from, to)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: vm %s membership window [%v, %v): %w", spec.Name, spec.JoinAt, spec.LeaveAt, err)
+	}
+	return sub, nil
+}
+
 // group is one service template's shared state.
 type group struct {
 	service services.Service
@@ -251,34 +274,45 @@ func Run(cfg Config) (*Result, error) {
 		Bill:      cloud.NewFleetBill(),
 	}
 
-	// Zero-copy step arena: each VM's step count is known from its
-	// trace, so one slab holds every step record of the whole run.
-	// Workers fill disjoint per-VM sub-slices concurrently (capped
-	// with a three-index slice so a hypothetical overflow would copy
-	// out rather than stomp a neighbour), eliminating per-VM record
-	// growth — previously the dominant source of run-phase garbage.
-	offsets := make([]int, len(cfg.Specs)+1)
+	// Zero-copy step arena: each VM's step count is known up front
+	// from its active trace window, so the arena pre-sizes one block
+	// for the whole fleet. Workers fill disjoint per-VM slots
+	// concurrently; VMs that leave mid-run drain their slot without
+	// the arena ever compacting or reusing it (see stepArena), so
+	// records held by live VMs and by the aggregation below stay
+	// valid under churn.
+	active := make([]*trace.Trace, len(cfg.Specs))
+	total := 0
 	for i, spec := range cfg.Specs {
-		offsets[i+1] = offsets[i] + sim.Steps(spec.RunTrace.Duration(), cfg.Step)
+		at, err := activeTrace(spec)
+		if err != nil {
+			return nil, err
+		}
+		active[i] = at
+		total += sim.Steps(at.Duration(), cfg.Step)
 	}
-	arena := make([]sim.StepRecord, offsets[len(cfg.Specs)])
+	arena := newStepArena(total)
 
 	runErrs := make([]error, len(cfg.Specs))
 	runStart := time.Now()
 	parallel.Do(cfg.Workers, len(cfg.Specs), func(i int) {
-		records := arena[offsets[i]:offsets[i]:offsets[i+1]]
-		vr, err := runVM(cfg, cfg.Specs[i], groups[cfg.Specs[i].Service.Name()], records)
+		records := arena.acquire(sim.Steps(active[i].Duration(), cfg.Step))
+		vr, err := runVM(cfg, cfg.Specs[i], active[i], groups[cfg.Specs[i].Service.Name()], records)
 		if err != nil {
 			runErrs[i] = fmt.Errorf("fleet: vm %d (%s): %w", i, cfg.Specs[i].Name, err)
 			return
+		}
+		if cfg.Specs[i].LeaveAt > 0 {
+			// Preempted: the VM has left the fleet; drain its slot.
+			arena.release()
 		}
 		res.VMResults[i] = vr
 		res.Bill.Post(cloud.TenantUsage{
 			Tenant:        cfg.Specs[i].Name,
 			Service:       cfg.Specs[i].Service.Name(),
 			Cost:          vr.TotalCost,
-			InstanceHours: vr.MeanAllocatedInstances() * cfg.Specs[i].RunTrace.Duration().Hours(),
-			Duration:      cfg.Specs[i].RunTrace.Duration(),
+			InstanceHours: vr.MeanAllocatedInstances() * active[i].Duration().Hours(),
+			Duration:      active[i].Duration(),
 		})
 	})
 	if err := errors.Join(runErrs...); err != nil {
@@ -362,8 +396,11 @@ func learnGroup(cfg Config, g *group, workers int) error {
 }
 
 // runVM simulates one VM against its group's shared repository,
-// filling step records into the caller-provided arena slice.
-func runVM(cfg Config, spec sim.VMSpec, g *group, records []sim.StepRecord) (*sim.Result, error) {
+// filling step records into the caller-provided arena slice. runTrace
+// is the VM's active trace window; when the VM joined mid-run its
+// time-indexed schedules (interference, mix) are shifted so they keep
+// reading fleet-absolute time.
+func runVM(cfg Config, spec sim.VMSpec, runTrace *trace.Trace, g *group, records []sim.StepRecord) (*sim.Result, error) {
 	rng := newRng(spec.Seed)
 	prof, err := core.NewProfiler(spec.Service, rng)
 	if err != nil {
@@ -393,14 +430,25 @@ func runVM(cfg Config, spec sim.VMSpec, g *group, records []sim.StepRecord) (*si
 	if err != nil {
 		return nil, err
 	}
+	interference := spec.Interference
+	mixFn := spec.MixFn
+	if off := spec.JoinAt; off > 0 {
+		if inner := interference; inner != nil {
+			interference = func(now time.Duration) float64 { return inner(now + off) }
+		}
+		if inner := mixFn; inner != nil {
+			mixFn = func(now time.Duration) services.Mix { return inner(now + off) }
+		}
+	}
 	simCfg := sim.Config{
 		Service:      spec.Service,
-		Trace:        spec.RunTrace,
+		Trace:        runTrace,
 		Mix:          spec.Mix,
+		MixFn:        mixFn,
 		Controller:   ctl,
 		Step:         cfg.Step,
 		Initial:      spec.Service.MaxAllocation(),
-		Interference: spec.Interference,
+		Interference: interference,
 		Records:      records,
 	}
 	return sim.Run(simCfg)

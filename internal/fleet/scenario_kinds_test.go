@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFleetScenarioWorkersInvariance is the Workers half of the
+// scenario property satellite: for every scenario kind, the fleet
+// result is invariant to the worker count — the only shared runtime
+// state (repository shards, tuning cache) is written identically
+// regardless of VM scheduling, so sequential and concurrent runs
+// agree exactly.
+func TestFleetScenarioWorkersInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two fleet runs per scenario kind")
+	}
+	kinds := append([]sim.ScenarioKind{sim.KindBaseline}, sim.AdversarialKinds()...)
+	for _, kind := range kinds {
+		gen := func() []sim.VMSpec {
+			specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+				Rng:         rand.New(rand.NewSource(42)),
+				Kind:        kind,
+				VMs:         6,
+				Days:        1,
+				Homogeneous: true,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			return specs
+		}
+		sequential, err := Run(Config{Specs: gen(), Workers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", kind, err)
+		}
+		concurrent, err := Run(Config{Specs: gen(), Workers: 4})
+		if err != nil {
+			t.Fatalf("%s concurrent: %v", kind, err)
+		}
+		t.Run(kind.String(), func(t *testing.T) {
+			compareFleetResults(t, sequential, concurrent)
+		})
+	}
+}

@@ -283,3 +283,132 @@ func TestKillReplicaUnderChaosEquivalence(t *testing.T) {
 		m.kill(t)
 	}
 }
+
+// TestFlashCrowdFleetUnderChaosEquivalence extends the remote-fleet
+// equivalence family to an adversarial scenario: a flash-crowd fleet —
+// every tenant hit by the same 10-100x load spike, exactly the moment
+// a shared decision tier is most loaded — served by the full
+// 3-replica tier with seeded chaos on every decision connection, must
+// stay byte-identical to the in-process fleet at seed 42. The spike
+// floods the repositories with unforeseen signatures, so this pins
+// the miss path (max-allocation fallback) across the wire as well as
+// the steady-state hit path the kill-replica test exercises.
+func TestFlashCrowdFleetUnderChaosEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fleet runs")
+	}
+	const vms = 12
+	const seed = 42
+
+	scenario := func() []sim.VMSpec {
+		specs, err := sim.GenerateScenario(sim.ScenarioConfig{
+			Rng:         rand.New(rand.NewSource(seed)),
+			Kind:        sim.KindFlashCrowd,
+			VMs:         vms,
+			Days:        1,
+			Homogeneous: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return specs
+	}
+
+	local, err := fleet.Run(fleet.Config{Specs: scenario()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaosCfg := chaos.Config{
+		Seed:         seed,
+		DropRate:     0.004,
+		StallRate:    0.01,
+		TruncateRate: 0.004,
+		StallMax:     2 * time.Millisecond,
+		SkipFirst:    2,
+	}
+	members := make([]*tierMember, 0, 3)
+	specs := make([]replica.Spec, 0, 3)
+	for _, name := range []string{"fc0", "fc1", "fc2"} {
+		m := startTierMember(t, name, chaosCfg)
+		members = append(members, m)
+		specs = append(specs, m.spec())
+	}
+	defer func() {
+		for _, m := range members {
+			m.kill(t)
+		}
+	}()
+
+	reg, err := replica.New(replica.Config{
+		Replicas: specs,
+		Encoding: wire.EncodingBinary,
+		Probe:    replica.ProbeConfig{Interval: 25 * time.Millisecond, FailAfter: 2},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	front, err := proxy.NewDecisionFront(proxy.DecisionFrontConfig{Replicas: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	fs := httptest.NewServer(front.Handler())
+	defer fs.Close()
+
+	cl, err := client.New(client.Config{Addr: strings.TrimPrefix(fs.URL, "http://")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	remote, err := fleet.Run(fleet.Config{Specs: scenario(), Remote: cl})
+	if err != nil {
+		t.Fatalf("remote flash-crowd fleet rejected requests: %v", err)
+	}
+
+	if st := front.Stats(); st.Errors != 0 {
+		t.Errorf("front counted %d errors", st.Errors)
+	}
+	var injected int64
+	for _, m := range members {
+		injected += m.tcpLn.Injected()
+	}
+	if injected == 0 {
+		t.Error("no chaos faults fired across the tier")
+	}
+
+	// The spike actually stressed the miss path: the fleet hit rate
+	// must sit below the baseline's perfect score.
+	if hr := local.HitRate(); hr >= 1 {
+		t.Errorf("flash-crowd fleet hit rate %v, expected unforeseen-load misses", hr)
+	}
+
+	// Byte-identical decisions, spike hours included. (As in the
+	// kill-replica test, hit/miss traffic counters are not compared —
+	// chaos-torn responses count retried work — but step records are
+	// the decision ground truth.)
+	if len(remote.VMResults) != len(local.VMResults) {
+		t.Fatalf("vm results: %d vs %d", len(remote.VMResults), len(local.VMResults))
+	}
+	for i := range local.VMResults {
+		lv, rv := local.VMResults[i], remote.VMResults[i]
+		if lv.TotalCost != rv.TotalCost || lv.SLOViolationFraction != rv.SLOViolationFraction ||
+			lv.Decisions != rv.Decisions {
+			t.Errorf("vm %d summary diverged: cost %v/%v, slo %v/%v, decisions %d/%d",
+				i, lv.TotalCost, rv.TotalCost, lv.SLOViolationFraction, rv.SLOViolationFraction,
+				lv.Decisions, rv.Decisions)
+		}
+		if len(lv.Records) != len(rv.Records) {
+			t.Fatalf("vm %d records: %d vs %d", i, len(lv.Records), len(rv.Records))
+		}
+		for j := range lv.Records {
+			if lv.Records[j] != rv.Records[j] {
+				t.Fatalf("vm %d step %d diverged:\nlocal:  %+v\nremote: %+v", i, j, lv.Records[j], rv.Records[j])
+			}
+		}
+	}
+}

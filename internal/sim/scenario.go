@@ -11,6 +11,65 @@ import (
 	"repro/internal/trace"
 )
 
+// ScenarioKind selects the adversarial axis a generated fleet
+// stresses. KindBaseline reproduces the original staggered-diurnal
+// fleet byte-for-byte; every other kind perturbs exactly one variable
+// so the claims harness can attribute the measured delta to it.
+type ScenarioKind int
+
+const (
+	// KindBaseline is the unperturbed staggered-diurnal fleet.
+	KindBaseline ScenarioKind = iota
+	// KindFlashCrowd injects a fleet-correlated 10–100x load spike
+	// over a few run hours.
+	KindFlashCrowd
+	// KindChurn gives VMs membership windows: spot instances join
+	// late and are preempted mid-run.
+	KindChurn
+	// KindWorkloadShift flips each VM's request mix mid-stream (the
+	// paper's Figure 11 workload type change, as a fleet axis).
+	KindWorkloadShift
+	// KindHardwareGen places hosts on heterogeneous hardware
+	// generations whose capacity deficit feeds the interference index.
+	KindHardwareGen
+	// KindTraceReplay drives every VM from a resampled synthesized
+	// cluster recording instead of generated diurnal phases.
+	KindTraceReplay
+)
+
+var kindNames = map[ScenarioKind]string{
+	KindBaseline:      "baseline",
+	KindFlashCrowd:    "flash-crowd",
+	KindChurn:         "churn",
+	KindWorkloadShift: "workload-shift",
+	KindHardwareGen:   "hardware-gen",
+	KindTraceReplay:   "trace-replay",
+}
+
+func (k ScenarioKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind maps a scenario-kind name (as printed by String) back to
+// the kind, for CLI flags.
+func ParseKind(s string) (ScenarioKind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown scenario kind %q", s)
+}
+
+// AdversarialKinds lists every non-baseline kind in claims-harness
+// order.
+func AdversarialKinds() []ScenarioKind {
+	return []ScenarioKind{KindFlashCrowd, KindChurn, KindWorkloadShift, KindHardwareGen, KindTraceReplay}
+}
+
 // VMSpec describes one logical VM of a multi-tenant fleet scenario:
 // which service template it runs, the load it sees, and the co-located
 // interference it suffers. The fleet control plane turns each spec
@@ -32,8 +91,21 @@ type VMSpec struct {
 	// time; VMs placed on the same host share the same schedule
 	// (correlated interference). Nil means an isolated VM.
 	Interference func(now time.Duration) float64
+	// MixFn, when set, overrides Mix per step — the mechanism behind
+	// mid-stream workload type changes. now is run-window time.
+	MixFn func(now time.Duration) services.Mix
 	// Host is the physical host the VM is placed on.
 	Host int
+	// HostCapacity is the host's hardware-generation capacity
+	// multiplier in (0, 1]; 0 is treated as 1 (current generation).
+	// The generator folds the deficit into Interference, so the field
+	// is informational for placement-aware consumers and reports.
+	HostCapacity float64
+	// JoinAt and LeaveAt bound the VM's membership window in
+	// fleet-absolute run time: the VM starts stepping at JoinAt and is
+	// preempted at LeaveAt. Zero JoinAt means present from the start;
+	// zero LeaveAt means it stays to the end.
+	JoinAt, LeaveAt time.Duration
 	// Seed drives the VM's private randomness (profiling noise).
 	Seed int64
 }
@@ -42,6 +114,11 @@ type VMSpec struct {
 type ScenarioConfig struct {
 	// Rng drives all scenario randomness; required.
 	Rng *rand.Rand
+	// Kind selects the adversarial axis (default KindBaseline). Every
+	// non-baseline kind draws its perturbations from streams the
+	// baseline never touches, so baseline output is byte-identical to
+	// a config without the field.
+	Kind ScenarioKind
 	// VMs is the fleet size (default 1).
 	VMs int
 	// Days is the evaluated window per VM, after the learning day
@@ -92,6 +169,53 @@ func rotateHours(t *trace.Trace, h int) *trace.Trace {
 	}
 	return out
 }
+
+// altMix returns the service's alternate request mix — the "after"
+// side of a mid-stream workload type change (paper Figure 11 flips
+// between exactly such mix pairs).
+func altMix(svc services.Service) services.Mix {
+	switch s := svc.(type) {
+	case *services.Cassandra:
+		return s.ReadMostlyMix()
+	case *services.SPECWeb:
+		return s.EcommerceMix()
+	case *services.RUBiS:
+		return s.SellingMix()
+	}
+	return svc.DefaultMix()
+}
+
+// hardwareGens is the capacity-multiplier ladder for KindHardwareGen:
+// hosts cycle through generations, oldest at just over half the
+// current generation's capacity. The deficit (1 - multiplier) is
+// composed into the interference fraction, so a tenant on gen-3
+// hardware observes the same signal as one next to a noisy neighbor
+// stealing 45% of the machine.
+var hardwareGens = [...]float64{1.0, 0.85, 0.7, 0.55}
+
+// composeCapacity folds a host capacity multiplier into an
+// interference schedule: with multiplier m and co-located contention
+// f, the usable fraction is m*(1-f), i.e. an effective interference
+// fraction of 1 - m*(1-f). Stays in [0, 1) for m in (0, 1], f in [0, 1).
+func composeCapacity(mult float64, inner func(time.Duration) float64) func(time.Duration) float64 {
+	return func(now time.Duration) float64 {
+		f := 0.0
+		if inner != nil {
+			f = inner(now)
+		}
+		return 1 - mult*(1-f)
+	}
+}
+
+// kindStream is the Derive index carving each VM's kind-perturbation
+// stream out of its seed, disjoint from the trace-synthesis stream so
+// adversarial draws never shift a VM's private load noise;
+// fleetKindStream does the same for fleet-correlated draws off the
+// base seed. Both sit far above any realistic VM index.
+const (
+	kindStream      = 7919
+	fleetKindStream = 104729
+)
 
 // hostInterference builds one host's contention schedule: square waves
 // of 10–30% stolen capacity with a host-specific period and phase, the
@@ -148,6 +272,22 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 	// only for fleet-level choices (stagger, interference schedules).
 	base := cfg.Rng.Int63()
 
+	// Fleet-level adversarial draws come from a stream derived off the
+	// base seed, never from cfg.Rng itself: the baseline stream —
+	// which golden results, benches and the remote-equivalence suite
+	// pin — stays byte-identical, and an adversarial fleet differs
+	// from its baseline only where its kind perturbs it (one variable
+	// per scenario, so a measured delta attributes cleanly).
+	runHours := cfg.Days * 24
+	var spikeStart, spikeLen int
+	var spikeFactor float64
+	if cfg.Kind == KindFlashCrowd {
+		spikeRng := rng.New(rng.Derive(base, fleetKindStream))
+		spikeLen = 2 + spikeRng.Intn(3)
+		spikeStart = spikeRng.Intn(runHours - spikeLen)
+		spikeFactor = 10 + 90*spikeRng.Float64()
+	}
+
 	specs := make([]VMSpec, 0, cfg.VMs)
 	for i := 0; i < cfg.VMs; i++ {
 		var svc services.Service
@@ -173,7 +313,18 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 		vmSeed := rng.Derive(base, i)
 		vmRng := rng.New(vmSeed)
 		var week *trace.Trace
-		if i%2 == 0 {
+		if cfg.Kind == KindTraceReplay {
+			// Replay path: the VM's load is a resampled cluster
+			// recording — irregular scrape cadence, outage gaps,
+			// incident bursts — run through the same zero-order hold a
+			// recorded production trace would be.
+			rec := trace.SynthCluster(trace.ClusterConfig{Rng: vmRng, Days: 1 + cfg.Days})
+			var err error
+			week, err = rec.Resample(time.Hour)
+			if err != nil {
+				return nil, fmt.Errorf("sim: scenario vm %d replay: %w", i, err)
+			}
+		} else if i%2 == 0 {
 			week = trace.Messenger(trace.SynthConfig{Rng: vmRng, DailyPhaseShift: true})
 		} else {
 			week = trace.HotMail(trace.SynthConfig{Rng: vmRng, DailyPhaseShift: true})
@@ -194,16 +345,51 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 
 		host := i / cfg.VMsPerHost
 		spec := VMSpec{
-			Name:       fmt.Sprintf("vm-%03d-%s", i, svc.Name()),
-			Service:    svc,
-			LearnTrace: learn,
-			RunTrace:   run,
-			Mix:        svc.DefaultMix(),
-			Host:       host,
-			Seed:       vmSeed,
+			Name:         fmt.Sprintf("vm-%03d-%s", i, svc.Name()),
+			Service:      svc,
+			LearnTrace:   learn,
+			RunTrace:     run,
+			Mix:          svc.DefaultMix(),
+			Host:         host,
+			HostCapacity: 1,
+			Seed:         vmSeed,
 		}
 		if cfg.Interference {
 			spec.Interference = schedules[host]
+		}
+
+		switch cfg.Kind {
+		case KindFlashCrowd:
+			// The spike is fleet-correlated — same window, same factor
+			// for every tenant — which is what makes a flash crowd
+			// harder than private noise: the whole repository faces
+			// unforeseen load at once.
+			for h := spikeStart; h < spikeStart+spikeLen && h < len(run.Loads); h++ {
+				run.Loads[h] *= spikeFactor
+			}
+		case KindChurn:
+			kr := rng.New(rng.Derive(vmSeed, kindStream))
+			switch i % 3 {
+			case 1: // spot instance arriving mid-run
+				spec.JoinAt = time.Duration(1+kr.Intn(runHours/2)) * time.Hour
+			case 2: // preempted before the window ends
+				spec.LeaveAt = time.Duration(runHours/2+kr.Intn(runHours/2-1)) * time.Hour
+			}
+		case KindWorkloadShift:
+			kr := rng.New(rng.Derive(vmSeed, kindStream))
+			shift := time.Duration(4+kr.Intn(runHours-8)) * time.Hour
+			before, after := spec.Mix, altMix(svc)
+			spec.MixFn = func(now time.Duration) services.Mix {
+				if now < shift {
+					return before
+				}
+				return after
+			}
+		case KindHardwareGen:
+			spec.HostCapacity = hardwareGens[host%len(hardwareGens)]
+			if spec.HostCapacity < 1 {
+				spec.Interference = composeCapacity(spec.HostCapacity, spec.Interference)
+			}
 		}
 		specs = append(specs, spec)
 	}
