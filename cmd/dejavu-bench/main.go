@@ -45,6 +45,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/proxy"
 	"repro/internal/queueing"
@@ -70,6 +71,11 @@ type FleetBench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// LearnPhase and StepPhase digest the last run's per-template
+	// learning and per-VM simulation durations (fleet.Result timing
+	// histograms).
+	LearnPhase obs.Summary `json:"learn_phase"`
+	StepPhase  obs.Summary `json:"step_phase"`
 }
 
 // Report is the BENCH_fleet.json schema.
@@ -773,6 +779,7 @@ func toBench(r testing.BenchmarkResult) Bench {
 
 func benchFleet(vms int) (FleetBench, error) {
 	var runErr error
+	var lastRes *fleet.Result
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -795,19 +802,25 @@ func benchFleet(vms int) (FleetBench, error) {
 			}
 			b.ReportMetric(res.StepsPerSecond(), "steps/s")
 			b.ReportMetric(100*res.HitRate(), "repo-hit%")
+			lastRes = res
 		}
 	})
 	if runErr != nil {
 		return FleetBench{}, runErr
 	}
-	return FleetBench{
+	out := FleetBench{
 		VMs:         vms,
 		StepsPerSec: r.Extra["steps/s"],
 		RepoHitPct:  r.Extra["repo-hit%"],
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
-	}, nil
+	}
+	if lastRes != nil {
+		out.LearnPhase = lastRes.LearnPhase
+		out.StepPhase = lastRes.StepPhase
+	}
+	return out, nil
 }
 
 func benchSignatureCollection() (Bench, error) {

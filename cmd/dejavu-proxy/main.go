@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/replica"
 	"repro/internal/wire"
@@ -74,14 +75,15 @@ func main() {
 	replicasTCP := flag.String("replicas-tcp", "", "decision mode: comma-separated replica raw-TCP decision addresses (same order as -replicas)")
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "replicated mode: health probe interval")
 	probeFails := flag.Int("probe-fails", 2, "replicated mode: consecutive probe failures before a replica is marked down")
+	pprofFlag := flag.Bool("pprof", false, "decision mode: expose net/http/pprof under /debug/pprof/ on the front's listener")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *decision && *replicas != "":
-		err = runReplicated(*listen, *replicas, *replicasTCP, *statsEvery, *upstreamJSON, *probeInterval, *probeFails)
+		err = runReplicated(*listen, *replicas, *replicasTCP, *statsEvery, *upstreamJSON, *probeInterval, *probeFails, *pprofFlag)
 	case *decision:
-		err = runDecision(*listen, *upstream, *upstreamTCP, *clone, *cloneTCP, *sample, *statsEvery, *upstreamJSON)
+		err = runDecision(*listen, *upstream, *upstreamTCP, *clone, *cloneTCP, *sample, *statsEvery, *upstreamJSON, *pprofFlag)
 	default:
 		err = runByteStream(*listen, *production, *clone, *sample, *statsEvery)
 	}
@@ -93,7 +95,7 @@ func main() {
 
 // runReplicated serves the decision front over a replicated dejavud
 // tier until SIGINT/SIGTERM.
-func runReplicated(listen, replicas, replicasTCP string, statsEvery time.Duration, upstreamJSON bool, probeInterval time.Duration, probeFails int) error {
+func runReplicated(listen, replicas, replicasTCP string, statsEvery time.Duration, upstreamJSON bool, probeInterval time.Duration, probeFails int, pprofOn bool) error {
 	addrs := splitAddrs(replicas)
 	if len(addrs) == 0 {
 		return errors.New("-replicas needs at least one host:port")
@@ -136,7 +138,12 @@ func runReplicated(listen, replicas, replicasTCP string, statsEvery time.Duratio
 	}
 	defer front.Close()
 
-	srv := &http.Server{Addr: listen, Handler: front.Handler()}
+	handler := http.Handler(front.Handler())
+	if pprofOn {
+		handler = obs.PprofHandler(handler)
+		fmt.Printf("dejavu-proxy: profiling exposed on %s/debug/pprof/\n", listen)
+	}
+	srv := &http.Server{Addr: listen, Handler: handler}
 	done := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -183,7 +190,7 @@ func splitAddrs(s string) []string {
 }
 
 // runDecision serves the decision front until SIGINT/SIGTERM.
-func runDecision(listen, upstream, upstreamTCP, clone, cloneTCP string, sample int, statsEvery time.Duration, upstreamJSON bool) error {
+func runDecision(listen, upstream, upstreamTCP, clone, cloneTCP string, sample int, statsEvery time.Duration, upstreamJSON, pprofOn bool) error {
 	if upstream == "" && upstreamTCP == "" {
 		return errors.New("-decision needs -upstream host:port (or -upstream-tcp)")
 	}
@@ -217,7 +224,12 @@ func runDecision(listen, upstream, upstreamTCP, clone, cloneTCP string, sample i
 	}
 	defer front.Close()
 
-	srv := &http.Server{Addr: listen, Handler: front.Handler()}
+	handler := http.Handler(front.Handler())
+	if pprofOn {
+		handler = obs.PprofHandler(handler)
+		fmt.Printf("dejavu-proxy: profiling exposed on %s/debug/pprof/\n", listen)
+	}
+	srv := &http.Server{Addr: listen, Handler: handler}
 	done := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -55,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/services"
@@ -204,6 +205,7 @@ func run() error {
 	driftWindow := flag.Int("drift-window", 512, "decisions per drift observation window")
 	driftThreshold := flag.Float64("drift-threshold", 0.5, "unforeseen fraction that triggers re-learning")
 	noRelearn := flag.Bool("no-relearn", false, "disable drift-triggered background re-learning")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the admin plane")
 	flag.Parse()
 
 	names, err := templateNames(*servicesFlag, *serviceName)
@@ -275,7 +277,12 @@ func run() error {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if *pprofFlag {
+		handler = obs.PprofHandler(handler)
+		log.Printf("dejavud: profiling exposed on %s/debug/pprof/", *addr)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 2)
 	go func() {
 		if len(names) == 0 {

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/wire"
 )
@@ -92,6 +93,14 @@ type Config struct {
 	// Coalesce enables batch coalescing on template sources created
 	// from this client (zero value disables it).
 	Coalesce CoalesceConfig
+	// TraceEvery samples every Nth Decide with a trace context (0
+	// disables sampling): the sampled request carries a DejaVu-Trace
+	// header (HTTP) or a wire.StreamFlagTrace envelope (TCP), every
+	// hop downstream appends a span to its own ring, and the client
+	// records the root span in Spans(). Sampling draws ids from
+	// obs.NextID, never from seeded simulation streams, so enabling it
+	// cannot perturb a deterministic run's decisions.
+	TraceEvery int
 }
 
 func (c *Config) defaults() error {
@@ -167,6 +176,14 @@ type Client struct {
 
 	// retried counts transport-level retries, for telemetry/tests.
 	retried atomic.Int64
+
+	// Local instrumentation (obs histograms are atomic-add only, so
+	// the zero-alloc decision path stays zero-alloc with them live).
+	reqLat        obs.Histogram // whole Decide: encode, transport (incl. retries), decode
+	retryWait     obs.Histogram // time spent sleeping in retry backoff
+	coalesceDelay obs.Histogram // first-row-append → flush queueing delay
+	decides       atomic.Int64  // Decide calls, drives TraceEvery sampling
+	spans         *obs.SpanRing // root spans of sampled decisions
 }
 
 // APIError is a non-2xx response from the daemon.
@@ -185,14 +202,22 @@ func New(cfg Config) (*Client, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		idle:    make(chan *conn, cfg.MaxIdleConns),
 		tcpIdle: make(chan *tcpConn, cfg.MaxIdleConns),
 		closeCh: make(chan struct{}),
 		jitter:  rng.New(cfg.RetryJitterSeed),
-	}, nil
+	}
+	if cfg.TraceEvery > 0 {
+		c.spans = obs.NewSpanRing(obs.DefaultSpanRingSize)
+	}
+	return c, nil
 }
+
+// Spans exposes the client's trace ring: the root spans of sampled
+// decisions (nil unless Config.TraceEvery is set).
+func (c *Client) Spans() *obs.SpanRing { return c.spans }
 
 // Close drops the idle pools and wakes any retry sleeping in backoff.
 // In-flight requests finish on their own connections.
@@ -216,6 +241,39 @@ func (c *Client) Close() {
 // Retries reports how many transport-level retries the client has
 // performed.
 func (c *Client) Retries() int64 { return c.retried.Load() }
+
+// LocalStats is the client's own instrumentation snapshot — latency
+// digests recorded by this process, as opposed to Stats(), which
+// fetches the daemon's /v1/stats document.
+type LocalStats struct {
+	// Decides counts Decide calls (each one batch).
+	Decides int64 `json:"decides"`
+	// Retries counts transport-level retry attempts.
+	Retries int64 `json:"retries"`
+	// Request digests whole-Decide latency: encode, transport
+	// (including retries), decode.
+	Request obs.Summary `json:"request"`
+	// RetryWait digests time spent sleeping in retry backoff.
+	RetryWait obs.Summary `json:"retry_wait"`
+	// CoalesceDelay digests the queueing delay coalesced lookups spent
+	// waiting for their batch to flush.
+	CoalesceDelay obs.Summary `json:"coalesce_delay"`
+}
+
+// StatsSnapshot digests the client's local histograms.
+func (c *Client) StatsSnapshot() LocalStats {
+	return LocalStats{
+		Decides:       c.decides.Load(),
+		Retries:       c.retried.Load(),
+		Request:       c.reqLat.Snapshot().Summary(),
+		RetryWait:     c.retryWait.Snapshot().Summary(),
+		CoalesceDelay: c.coalesceDelay.Snapshot().Summary(),
+	}
+}
+
+// RequestLatency exposes the raw whole-Decide latency snapshot (the
+// Summary digest lives in StatsSnapshot).
+func (c *Client) RequestLatency() obs.Snapshot { return c.reqLat.Snapshot() }
 
 // conn is one pooled connection plus its per-connection scratch: the
 // request build buffer and the response body buffer warm up to the
@@ -277,6 +335,13 @@ func (c *Client) release(cn *conn, healthy bool) {
 // returned as *APIError with the connection already released —
 // HTTP-level errors are never retried.
 func (c *Client) roundTrip(method, path, contentType string, payload []byte) (*conn, []byte, error) {
+	return c.roundTripCtx(method, path, contentType, payload, obs.TraceContext{})
+}
+
+// roundTripCtx is roundTrip plus an optional trace context that rides
+// the request as a DejaVu-Trace header (decision sampling; admin
+// calls pass the zero context through roundTrip).
+func (c *Client) roundTripCtx(method, path, contentType string, payload []byte, tc obs.TraceContext) (*conn, []byte, error) {
 	if c.cfg.Addr == "" {
 		return nil, nil, errors.New("client: no HTTP address configured (decisions-only tcp:// client)")
 	}
@@ -292,7 +357,7 @@ func (c *Client) roundTrip(method, path, contentType string, payload []byte) (*c
 			lastErr = err
 			continue
 		}
-		status, body, reusable, err := c.exchange(cn, method, path, contentType, payload)
+		status, body, reusable, err := c.exchange(cn, method, path, contentType, payload, tc)
 		if err != nil {
 			cn.nc.Close()
 			lastErr = err
@@ -334,6 +399,8 @@ func (c *Client) backoffWait(attempt int) error {
 	c.jitterMu.Lock()
 	d = d/2 + time.Duration(c.jitter.Int63n(int64(d/2)+1))
 	c.jitterMu.Unlock()
+	start := time.Now()
+	defer func() { c.retryWait.Record(time.Since(start)) }()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -347,7 +414,7 @@ func (c *Client) backoffWait(attempt int) error {
 // exchange writes one request and reads one response on cn. The
 // returned body aliases cn.body; reusable reports whether the
 // connection may go back to the pool (false after Connection: close).
-func (c *Client) exchange(cn *conn, method, path, contentType string, payload []byte) (status int, body []byte, reusable bool, err error) {
+func (c *Client) exchange(cn *conn, method, path, contentType string, payload []byte, tc obs.TraceContext) (status int, body []byte, reusable bool, err error) {
 	deadline := time.Now().Add(c.cfg.RequestTimeout)
 	if err := cn.nc.SetDeadline(deadline); err != nil {
 		return 0, nil, false, err
@@ -362,6 +429,10 @@ func (c *Client) exchange(cn *conn, method, path, contentType string, payload []
 	if contentType != "" {
 		w = append(w, "\r\nContent-Type: "...)
 		w = append(w, contentType...)
+	}
+	if tc.Valid() {
+		w = append(w, "\r\n"+obs.TraceHeader+": "...)
+		w = tc.AppendHeader(w)
 	}
 	w = append(w, "\r\nContent-Length: "...)
 	w = strconv.AppendInt(w, int64(len(payload)), 10)
@@ -601,6 +672,27 @@ func readChunked(br *bufio.Reader, dst []byte) ([]byte, error) {
 // heap allocations once the payload pool and connection scratch have
 // warmed up (pinned by TestClientLookupZeroAlloc).
 func (c *Client) Decide(lookup bool, req *wire.Request, resp *wire.Response) error {
+	return c.DecideTraced(lookup, req, resp, c.sampleTrace())
+}
+
+// sampleTrace decides whether this Decide carries a trace context:
+// every TraceEvery-th call starts a fresh root trace. The untraced
+// path costs one atomic add.
+func (c *Client) sampleTrace() obs.TraceContext {
+	n := c.decides.Add(1)
+	if c.cfg.TraceEvery <= 0 || n%int64(c.cfg.TraceEvery) != 0 {
+		return obs.TraceContext{}
+	}
+	return obs.NewContext()
+}
+
+// DecideTraced is Decide with an explicit trace context: a valid tc
+// rides the wire (DejaVu-Trace header over HTTP, a trace-flagged
+// envelope over TCP) so every hop downstream records a span, and the
+// client records the root span in Spans(). The zero context is an
+// ordinary untraced Decide.
+func (c *Client) DecideTraced(lookup bool, req *wire.Request, resp *wire.Response, tc obs.TraceContext) error {
+	start := time.Now()
 	bufp, _ := c.payloads.Get().(*[]byte)
 	if bufp == nil {
 		bufp = new([]byte)
@@ -612,11 +704,17 @@ func (c *Client) Decide(lookup bool, req *wire.Request, resp *wire.Response) err
 		return err // encoding errors are the caller's, never retried
 	}
 	if c.cfg.Transport == TransportTCP {
-		err = c.decideTCP(lookup, payload, resp)
+		err = c.decideTCP(lookup, payload, resp, tc)
 	} else {
-		err = c.decideHTTP(lookup, payload, resp)
+		err = c.decideHTTP(lookup, payload, resp, tc)
 	}
 	c.payloads.Put(bufp) // the transport has fully written (or abandoned) the payload
+	elapsed := time.Since(start)
+	c.reqLat.Record(elapsed)
+	if tc.Valid() {
+		// Root span: parent 0 marks the start of the chain.
+		c.spans.RecordHop(obs.TraceContext{Trace: tc.Trace}, tc, "client", decideOp(lookup), start, elapsed)
+	}
 	if err != nil {
 		return err
 	}
@@ -626,14 +724,22 @@ func (c *Client) Decide(lookup bool, req *wire.Request, resp *wire.Response) err
 	return nil
 }
 
+// decideOp names a decision for span purposes.
+func decideOp(lookup bool) string {
+	if lookup {
+		return "lookup"
+	}
+	return "classify"
+}
+
 // decideHTTP carries one encoded decision payload over the HTTP
 // plane and decodes the reply into resp.
-func (c *Client) decideHTTP(lookup bool, payload []byte, resp *wire.Response) error {
+func (c *Client) decideHTTP(lookup bool, payload []byte, resp *wire.Response, tc obs.TraceContext) error {
 	path := "/v1/classify"
 	if lookup {
 		path = "/v1/lookup"
 	}
-	cn, body, err := c.roundTrip("POST", path, c.cfg.Encoding.ContentType(), payload)
+	cn, body, err := c.roundTripCtx("POST", path, c.cfg.Encoding.ContentType(), payload, tc)
 	if err != nil {
 		return err
 	}

@@ -188,6 +188,7 @@ type coalescer struct {
 // openBatch accumulates rows until full or its delay fires.
 type openBatch struct {
 	bucket  int
+	opened  time.Time
 	req     wire.Request
 	waiters []chan batchResult
 	timer   *time.Timer
@@ -210,7 +211,7 @@ func (co *coalescer) lookup(values []float64, bucket int) (core.LookupResult, er
 	co.mu.Lock()
 	b := co.pending[bucket]
 	if b == nil {
-		b = &openBatch{bucket: bucket}
+		b = &openBatch{bucket: bucket, opened: time.Now()}
 		b.req.SetTemplate(co.src.template)
 		b.req.Bucket = bucket
 		co.pending[bucket] = b
@@ -248,6 +249,10 @@ func (co *coalescer) flush(b *openBatch) {
 		delete(co.pending, b.bucket)
 	}
 	co.mu.Unlock()
+	// The coalesce delay is what the batch's first signature paid for
+	// sharing a round trip: open-to-flush, whether the flush came from
+	// the MaxBatch fill or the MaxDelay timer.
+	co.src.c.coalesceDelay.Record(time.Since(b.opened))
 
 	var resp wire.Response
 	err := co.src.c.Decide(true, &b.req, &resp)

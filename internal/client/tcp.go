@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -31,6 +32,7 @@ type tcpConn struct {
 	nc     net.Conn
 	st     *wire.Stream
 	nextID uint32
+	tcbuf  [obs.WireContextLen]byte // trace-context prefix scratch
 }
 
 // dialTCP establishes and handshakes a decision connection.
@@ -93,7 +95,7 @@ func (c *Client) releaseTCP(cn *tcpConn, healthy bool) {
 // plane, retrying transport failures like roundTrip does for HTTP.
 // The steady-state binary path allocates nothing once the pool and
 // stream scratch have warmed up (pinned by TestClientTCPLookupZeroAlloc).
-func (c *Client) decideTCP(lookup bool, payload []byte, resp *wire.Response) error {
+func (c *Client) decideTCP(lookup bool, payload []byte, resp *wire.Response, tc obs.TraceContext) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -106,7 +108,7 @@ func (c *Client) decideTCP(lookup bool, payload []byte, resp *wire.Response) err
 			lastErr = err
 			continue
 		}
-		apiErr, err := c.exchangeTCP(cn, lookup, payload, resp)
+		apiErr, err := c.exchangeTCP(cn, lookup, payload, resp, tc)
 		if err != nil {
 			cn.nc.Close()
 			lastErr = err
@@ -165,7 +167,7 @@ func (c *Client) Ping() error {
 // cn, decoding into resp. A non-nil *APIError is a server-side
 // rejection (error envelope); err covers transport and framing
 // failures, after which the caller must close the connection.
-func (c *Client) exchangeTCP(cn *tcpConn, lookup bool, payload []byte, resp *wire.Response) (*APIError, error) {
+func (c *Client) exchangeTCP(cn *tcpConn, lookup bool, payload []byte, resp *wire.Response, tc obs.TraceContext) (*APIError, error) {
 	if err := cn.nc.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
 		return nil, err
 	}
@@ -175,7 +177,15 @@ func (c *Client) exchangeTCP(cn *tcpConn, lookup bool, payload []byte, resp *wir
 	if lookup {
 		flags = wire.StreamFlagLookup
 	}
-	if err := cn.st.WriteEnvelope(id, flags, payload); err != nil {
+	var prefix []byte
+	if tc.Valid() {
+		// A sampled decision slides its 16-byte trace context ahead of
+		// the frame under StreamFlagTrace; the envelope writer splices
+		// the two parts without an intermediate concatenation.
+		flags |= wire.StreamFlagTrace
+		prefix = tc.AppendWire(cn.tcbuf[:0])
+	}
+	if err := cn.st.WriteEnvelopeParts(id, flags, prefix, payload); err != nil {
 		return nil, err
 	}
 	gotID, gotFlags, body, err := cn.st.ReadEnvelope(maxTCPResponseBytes)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/services"
@@ -101,6 +102,14 @@ type Result struct {
 	// LearningTime is the wall-clock time of the per-template
 	// learning phase.
 	LearningTime time.Duration
+	// LearnPhase digests the per-template learning durations (one
+	// sample per service group) — how unevenly the learning bill is
+	// spread across templates.
+	LearnPhase obs.Summary
+	// StepPhase digests the per-VM run-phase durations (one sample per
+	// VM simulation) — the tail here is what bounds the concurrent run
+	// phase's wall clock.
+	StepPhase obs.Summary
 }
 
 // StepsPerSecond is the control-plane throughput: fleet simulation
@@ -238,9 +247,15 @@ func Run(cfg Config) (*Result, error) {
 	if innerWorkers < 1 {
 		innerWorkers = 1
 	}
+	// Per-group and per-VM phase timing: one histogram sample per unit
+	// of parallel work, never per step — per-step recording would tax
+	// the fleet's multi-million-steps/s control-plane throughput.
+	var learnDur, stepDur obs.Histogram
 	learnErrs := make([]error, len(groupList))
 	parallel.Do(cfg.Workers, len(groupList), func(i int) {
+		groupStart := time.Now()
 		learnErrs[i] = learnGroup(cfg, groupList[i], innerWorkers)
+		learnDur.Record(time.Since(groupStart))
 	})
 	if err := errors.Join(learnErrs...); err != nil {
 		return nil, err
@@ -297,7 +312,9 @@ func Run(cfg Config) (*Result, error) {
 	runStart := time.Now()
 	parallel.Do(cfg.Workers, len(cfg.Specs), func(i int) {
 		records := arena.acquire(sim.Steps(active[i].Duration(), cfg.Step))
+		vmStart := time.Now()
 		vr, err := runVM(cfg, cfg.Specs[i], active[i], groups[cfg.Specs[i].Service.Name()], records)
+		stepDur.Record(time.Since(vmStart))
 		if err != nil {
 			runErrs[i] = fmt.Errorf("fleet: vm %d (%s): %w", i, cfg.Specs[i].Name, err)
 			return
@@ -320,6 +337,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Elapsed = time.Since(runStart)
 	res.LearningTime = learningTime
+	res.LearnPhase = learnDur.Snapshot().Summary()
+	res.StepPhase = stepDur.Snapshot().Summary()
 
 	for _, vr := range res.VMResults {
 		res.TotalSteps += len(vr.Records)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled mirrors the server/client twin files: zero-alloc pins
+// only run without the race detector, whose instrumentation distorts
+// allocation counts.
+const raceEnabled = false

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler wraps next with the net/http/pprof surfaces under
+// /debug/pprof/ — index, cmdline, profile, symbol, trace — leaving
+// every other path to next. The daemons mount it behind an explicit
+// -pprof flag: profiling endpoints expose goroutine stacks and heap
+// contents, so they are opt-in, never ambient.
+func PprofHandler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}

@@ -1,0 +1,6 @@
+//go:build race
+
+package obs
+
+// raceEnabled: see norace_test.go.
+const raceEnabled = true

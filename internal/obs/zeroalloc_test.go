@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramRecordZeroAlloc pins the instrumentation contract the
+// serving gates rely on: recording into a histogram or counter — and
+// building a trace header into caller scratch — allocates nothing.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector distorts allocation counts")
+	}
+	var h Histogram
+	var c Counter
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(1234 * time.Nanosecond)
+		c.Inc()
+	}); allocs != 0 {
+		t.Errorf("Record+Inc allocates %.1f times per op, want 0", allocs)
+	}
+
+	var snap Snapshot
+	if allocs := testing.AllocsPerRun(100, func() {
+		snap = h.Snapshot()
+	}); allocs != 0 {
+		t.Errorf("Snapshot allocates %.1f times per op, want 0", allocs)
+	}
+	_ = snap
+
+	tc := NewContext()
+	buf := make([]byte, 0, HeaderContextLen)
+	wbuf := make([]byte, 0, WireContextLen)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		buf = tc.AppendHeader(buf[:0])
+		wbuf = tc.AppendWire(wbuf[:0])
+		if _, ok := ParseWireContext(wbuf); !ok {
+			t.Fatal("parse")
+		}
+	}); allocs != 0 {
+		t.Errorf("trace context append/parse allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/wire"
 )
@@ -90,6 +92,14 @@ type DecisionFront struct {
 	mirrorDrops atomic.Int64
 	mirrorFails atomic.Int64
 
+	// decideLat is the front's own forwarding latency — decode done,
+	// upstream answered — exported as a histogram on /metrics.
+	decideLat obs.Histogram
+	// spans receives one span per traced decision through the front
+	// (and, in replicated mode, the registry's routing spans too);
+	// dumped via /v1/trace.
+	spans *obs.SpanRing
+
 	mirrorCh  chan mirrorJob
 	mirrorWg  sync.WaitGroup
 	closeOnce sync.Once
@@ -115,13 +125,18 @@ func NewDecisionFront(cfg DecisionFrontConfig) (*DecisionFront, error) {
 	if cfg.CloneQueue <= 0 {
 		cfg.CloneQueue = 256
 	}
-	f := &DecisionFront{cfg: cfg}
+	f := &DecisionFront{cfg: cfg, spans: obs.NewSpanRing(obs.DefaultSpanRingSize)}
 	f.pool.New = func() any { return &frontScratch{} }
 	f.mux = http.NewServeMux()
 	f.mux.HandleFunc("/v1/classify", func(w http.ResponseWriter, r *http.Request) { f.handleDecision(w, r, false) })
 	f.mux.HandleFunc("/v1/lookup", func(w http.ResponseWriter, r *http.Request) { f.handleDecision(w, r, true) })
 	f.mux.HandleFunc("/v1/stats", f.handleStats)
+	f.mux.HandleFunc("/metrics", f.handleMetrics)
+	f.mux.HandleFunc("/v1/trace", f.handleTrace)
 	if cfg.Replicas != nil {
+		// Adopt the tier: registry routing spans land in the front's
+		// ring, so one /v1/trace dump shows both hops of a decision.
+		cfg.Replicas.SetSpans(f.spans)
 		f.mux.HandleFunc("/v1/install", f.handleInstall)
 		f.mux.HandleFunc("/v1/put", f.handleRelay(cfg.Replicas.PutRaw))
 		f.mux.HandleFunc("/v1/get", f.handleRelay(cfg.Replicas.GetRaw))
@@ -216,7 +231,26 @@ func (f *DecisionFront) handleDecision(w http.ResponseWriter, r *http.Request, l
 		f.mirror(&sc.req, lookup)
 	}
 
-	if err := f.decide(lookup, &sc.req, &sc.resp); err != nil {
+	// A sampled caller propagates its trace context in the DejaVu-Trace
+	// header; the front records its own hop and forwards a child
+	// context so the downstream tiers parent to this span.
+	parent, _ := obs.ParseHeaderContext(r.Header.Get(obs.TraceHeader))
+	var child obs.TraceContext
+	if parent.Valid() {
+		child = obs.Child(parent)
+	}
+	start := time.Now()
+	err := f.decideTraced(lookup, &sc.req, &sc.resp, child)
+	elapsed := time.Since(start)
+	f.decideLat.Record(elapsed)
+	if child.Valid() {
+		op := "classify"
+		if lookup {
+			op = "lookup"
+		}
+		f.spans.RecordHop(parent, child, "front", op, start, elapsed)
+	}
+	if err != nil {
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) {
 			f.errorsN.Add(1)
@@ -302,10 +336,15 @@ func (f *DecisionFront) drainMirror() {
 	}
 }
 
-// decide routes one batch to the single upstream or the replica tier.
-func (f *DecisionFront) decide(lookup bool, req *wire.Request, resp *wire.Response) error {
+// decideTraced routes one batch to the single upstream or the replica
+// tier, forwarding the sampled trace context (zero means untraced and
+// routes through the ordinary sampling path).
+func (f *DecisionFront) decideTraced(lookup bool, req *wire.Request, resp *wire.Response, tc obs.TraceContext) error {
 	if f.cfg.Replicas != nil {
-		return f.cfg.Replicas.Decide(lookup, req, resp)
+		return f.cfg.Replicas.DecideTraced(lookup, req, resp, tc)
+	}
+	if tc.Valid() {
+		return f.cfg.Upstream.DecideTraced(lookup, req, resp, tc)
 	}
 	return f.cfg.Upstream.Decide(lookup, req, resp)
 }
@@ -330,6 +369,74 @@ func (f *DecisionFront) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(f.Stats())
 }
+
+// handleMetrics exposes the front's counters and latency histogram in
+// the Prometheus text format — and, in replicated mode, the tier's
+// failover counter plus the registry's probe/failover/resync latency
+// histograms, so one scrape covers the whole serving tier.
+func (f *DecisionFront) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		f.fail(w, http.StatusMethodNotAllowed, errors.New("proxy: method not allowed"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := f.Stats()
+	counters := []struct {
+		name, help string
+		value      int64
+	}{
+		{"dejavu_front_batches_total", "Decision batches accepted by the front.", st.Batches},
+		{"dejavu_front_decisions_total", "Individual decisions proxied to the serving tier.", st.Decisions},
+		{"dejavu_front_errors_total", "Requests answered with an error status.", st.Errors},
+		{"dejavu_front_mirrored_batches_total", "Batches mirrored to the profiling clone.", st.Mirrored},
+		{"dejavu_front_mirror_drops_total", "Mirrored batches dropped at the bounded queue.", st.MirrorDrops},
+		{"dejavu_front_mirror_failures_total", "Mirrored batches the clone failed to serve.", st.MirrorFails},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+	const latName = "dejavu_front_decide_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Front forwarding latency: decode done to upstream answered.\n# TYPE %s histogram\n", latName, latName)
+	f.decideLat.Snapshot().WritePrometheus(w, latName, "")
+	if f.cfg.Replicas == nil {
+		return
+	}
+	const fo = "dejavu_front_replica_failovers_total"
+	fmt.Fprintf(w, "# HELP %s Decisions that succeeded only after replica failover.\n# TYPE %s counter\n%s %d\n",
+		fo, fo, fo, f.cfg.Replicas.Failovers())
+	tier := f.cfg.Replicas.Obs()
+	for _, h := range []struct {
+		name, help string
+		snap       obs.Snapshot
+	}{
+		{"dejavu_replica_probe_rtt_seconds", "Successful replica health-probe round trips.", tier.ProbeRTT},
+		{"dejavu_replica_failover_duration_seconds", "Routing episodes that needed replica failover.", tier.Failover},
+		{"dejavu_replica_resync_duration_seconds", "Completed donor-to-replica repairs.", tier.Resync},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		h.snap.WritePrometheus(w, h.name, "")
+	}
+}
+
+// handleTrace dumps the front's span ring (front hops plus, in
+// replicated mode, the registry's routing hops).
+func (f *DecisionFront) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		f.fail(w, http.StatusMethodNotAllowed, errors.New("proxy: method not allowed"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = f.spans.WriteJSON(w, "front")
+}
+
+// Spans exposes the front's trace ring (tests stitch cross-tier
+// traces through it).
+func (f *DecisionFront) Spans() *obs.SpanRing { return f.spans }
+
+// DecideLatency snapshots the front's forwarding-latency histogram.
+func (f *DecisionFront) DecideLatency() obs.Snapshot { return f.decideLat.Snapshot() }
 
 // relayError maps a registry error onto the front's wire contract:
 // replica-side application errors keep their status and body (the

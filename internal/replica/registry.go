@@ -67,6 +67,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/wire"
 )
@@ -131,6 +132,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logf receives operational log lines; nil means silent.
 	Logf func(format string, args ...any)
+	// Spans, when set, receives one span per traced decision routed
+	// through the registry (component "registry"). The decision front
+	// passes its own ring so one /v1/trace dump stitches both hops; nil
+	// records nothing.
+	Spans *obs.SpanRing
 }
 
 // replica is one member's runtime state.
@@ -204,6 +210,18 @@ type Registry struct {
 	failovers atomic.Int64
 	installs  atomic.Int64
 	adoptions atomic.Int64
+
+	// spans is the sink for traced-decision routing spans — seeded from
+	// Config.Spans, replaceable via SetSpans so a decision front can
+	// adopt the tier into its own ring after construction. Atomic
+	// because decides read it concurrently.
+	spans atomic.Pointer[obs.SpanRing]
+
+	// Latency accounting for the tier's three operational loops; the
+	// decision front re-exports the snapshots on its /metrics plane.
+	probeRTT    obs.Histogram // successful health probes, both planes
+	failoverDur obs.Histogram // decides that succeeded only after failover
+	resyncDur   obs.Histogram // completed donor-to-replica repairs
 }
 
 // New validates the configuration, dials nothing, and starts the
@@ -224,6 +242,9 @@ func New(cfg Config) (*Registry, error) {
 		cfg:     cfg,
 		desired: map[string]uint64{},
 		adopts:  map[string]*parallel.SingleFlight{},
+	}
+	if cfg.Spans != nil {
+		r.spans.Store(cfg.Spans)
 	}
 	reps := make([]*replica, 0, len(cfg.Replicas))
 	seen := map[string]bool{}
@@ -307,6 +328,37 @@ func (r *Registry) Close() {
 // are returned without failover: the replicas share repository
 // content, so a parsed-and-rejected request is rejected everywhere.
 func (r *Registry) Decide(lookup bool, req *wire.Request, resp *wire.Response) error {
+	return r.DecideTraced(lookup, req, resp, obs.TraceContext{})
+}
+
+// DecideTraced is Decide carrying a sampled trace context: the
+// registry records its own routing span (component "registry") into
+// the configured ring and forwards a child context to whichever
+// replica serves the batch, so the replica's dejavud span parents to
+// this hop. A zero context routes identically and records nothing.
+func (r *Registry) DecideTraced(lookup bool, req *wire.Request, resp *wire.Response, tc obs.TraceContext) error {
+	var child obs.TraceContext
+	var spanStart time.Time
+	if tc.Valid() {
+		child = obs.Child(tc)
+		spanStart = time.Now()
+	}
+	err := r.decideRouted(lookup, req, resp, child)
+	if child.Valid() {
+		op := "classify"
+		if lookup {
+			op = "lookup"
+		}
+		r.spans.Load().RecordHop(tc, child, "registry", op, spanStart, time.Since(spanStart))
+	}
+	return err
+}
+
+// SetSpans replaces the registry's span sink; a decision front calls
+// it so tier routing spans land in the same ring as the front's own.
+func (r *Registry) SetSpans(ring *obs.SpanRing) { r.spans.Store(ring) }
+
+func (r *Registry) decideRouted(lookup bool, req *wire.Request, resp *wire.Response, tc obs.TraceContext) error {
 	r.flip.RLock()
 	defer r.flip.RUnlock()
 	cands := *r.all.Load()
@@ -322,6 +374,7 @@ func (r *Registry) Decide(lookup bool, req *wire.Request, resp *wire.Response) e
 	start := int(r.rr.Add(1) - 1)
 	var lastErr error
 	attempts := 0
+	var firstTry time.Time
 	for pass := 0; pass < 2; pass++ {
 		for i := 0; i < n; i++ {
 			rep := cands[(start+i)%n]
@@ -331,11 +384,18 @@ func (r *Registry) Decide(lookup bool, req *wire.Request, resp *wire.Response) e
 			if pass == 0 && !rep.alive.Load() {
 				continue
 			}
+			if attempts == 0 {
+				firstTry = time.Now()
+			}
 			attempts++
-			err := rep.cl.Decide(lookup, req, resp)
+			err := rep.cl.DecideTraced(lookup, req, resp, tc)
 			if err == nil {
 				if attempts > 1 {
 					r.failovers.Add(1)
+					// Failover cost: the whole routing episode, first
+					// attempt through eventual success — what a caller
+					// paid beyond a clean single-replica decide.
+					r.failoverDur.Record(time.Since(firstTry))
 				}
 				return nil
 			}
@@ -709,6 +769,29 @@ func (r *Registry) Status() Status {
 // over from at least one replica.
 func (r *Registry) Failovers() int64 { return r.failovers.Load() }
 
+// Obs is a snapshot of the registry's latency accounting, shaped for
+// re-export on a front's /metrics plane.
+type Obs struct {
+	// ProbeRTT is the distribution of successful health-probe round
+	// trips (HTTP health plus, when configured, the TCP ping).
+	ProbeRTT obs.Snapshot
+	// Failover is the distribution of full routing episodes that
+	// succeeded only after at least one replica failed over.
+	Failover obs.Snapshot
+	// Resync is the distribution of completed donor-to-replica repairs.
+	Resync obs.Snapshot
+}
+
+// Obs snapshots the registry's probe/failover/resync latency
+// histograms.
+func (r *Registry) Obs() Obs {
+	return Obs{
+		ProbeRTT: r.probeRTT.Snapshot(),
+		Failover: r.failoverDur.Snapshot(),
+		Resync:   r.resyncDur.Snapshot(),
+	}
+}
+
 // Add admits a new replica. It starts out of sync when the registry
 // has agreed versions (the resync loop installs them from a donor and
 // only then admits it to routing) — so a freshly restarted, empty
@@ -799,9 +882,15 @@ func (r *Registry) probeLoop(rep *replica) {
 // answer for the replica to count as live.
 func (r *Registry) probeOnce(rep *replica, fails *int) {
 	epoch := r.epoch.Load()
+	probeStart := time.Now()
 	h, err := rep.cl.Health()
 	if err == nil && rep.spec.TCPAddr != "" {
 		err = rep.cl.Ping()
+	}
+	if err == nil {
+		// Failed probes ride timeouts, not the network path; only a
+		// completed probe measures the tier's real round-trip time.
+		r.probeRTT.Record(time.Since(probeStart))
 	}
 	if err != nil {
 		*fails++
@@ -882,6 +971,7 @@ func (r *Registry) resync(rep *replica) {
 	// A dirty replica's versions lie (a missed put diverged its
 	// content under an unchanged version): reinstall everything.
 	force := rep.dirty.Load()
+	resyncStart := time.Now()
 	h, err := rep.cl.Health()
 	if err != nil {
 		return
@@ -912,6 +1002,7 @@ func (r *Registry) resync(rep *replica) {
 	rep.dirty.Store(false)
 	rep.synced.Store(true)
 	rep.resyncs.Add(1)
+	r.resyncDur.Record(time.Since(resyncStart))
 	r.logf("replica: %s resynced to %d templates", rep.name, len(r.desired))
 }
 

@@ -58,9 +58,33 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/wire"
 )
+
+// transport indexes the per-template decide-latency histograms: the
+// three ways a decision reaches the daemon.
+type transport uint8
+
+const (
+	transportJSON   transport = iota // HTTP, application/json
+	transportBinary                  // HTTP, binary columnar
+	transportTCP                     // raw-TCP stream plane (either encoding)
+	numTransports
+)
+
+// transportNames are the Prometheus label values.
+var transportNames = [numTransports]string{"json", "binary", "tcp"}
+
+// transportForEncoding maps an HTTP Content-Type negotiation to its
+// histogram slot.
+func transportForEncoding(enc wire.Encoding) transport {
+	if enc == wire.EncodingBinary {
+		return transportBinary
+	}
+	return transportJSON
+}
 
 // DefaultTemplate is the template id a single-template Config.Handle
 // registers under, and the id an empty wire template field resolves
@@ -111,6 +135,11 @@ type template struct {
 
 	relearns     atomic.Int64
 	relearnFails atomic.Int64
+
+	// lat is the decide-latency histogram per transport: a Record is
+	// a few atomic adds, which is what keeps the instrumented decide
+	// path at 0 allocs/op (TestDecideZeroAllocInstrumented).
+	lat [numTransports]obs.Histogram
 }
 
 // templateSet is the immutable routing table; installs publish a new
@@ -173,6 +202,16 @@ type Server struct {
 	badRequests  atomic.Int64
 	snapshots    atomic.Int64
 	snapshotMu   sync.Mutex
+
+	// Control-plane duration histograms (off the decide path).
+	relearnDur  obs.Histogram
+	installDur  obs.Histogram
+	snapshotDur obs.Histogram
+
+	// spans is the per-process trace ring; sampled decisions (the
+	// Dejavu-Trace header / wire.StreamFlagTrace envelopes) append
+	// their server hop here, dumped by GET /v1/trace.
+	spans *obs.SpanRing
 }
 
 // New validates the configuration and assembles the service.
@@ -181,7 +220,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
-	s := &Server{cfg: cfg, start: time.Now()}
+	s := &Server{cfg: cfg, start: time.Now(), spans: obs.NewSpanRing(obs.DefaultSpanRingSize)}
 	set := &templateSet{byName: map[string]*template{}}
 	if cfg.Handle != nil {
 		set.byName[DefaultTemplate] = s.newTemplate(DefaultTemplate, cfg.Handle)
@@ -222,6 +261,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/health", s.methodGuard(http.MethodGet, s.handleHealth))
 	s.mux.HandleFunc("/v1/dump", s.methodGuard(http.MethodGet, s.handleDump))
 	s.mux.HandleFunc("/metrics", s.methodGuard(http.MethodGet, s.handleMetrics))
+	s.mux.HandleFunc("/v1/trace", s.methodGuard(http.MethodGet, s.handleTrace))
 	s.mux.HandleFunc("/v1/snapshot", s.methodGuard(http.MethodPost, s.handleSnapshot))
 	return s, nil
 }
@@ -323,7 +363,21 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, lookup b
 		s.badRequest(w, err)
 		return
 	}
-	out, err := s.decide(enc, sc, lookup)
+	// A sampled decision carries its trace context in the
+	// (canonically-spelled) DejaVu-Trace header; the untraced path
+	// pays one map probe and nothing else.
+	var parent, child obs.TraceContext
+	var spanStart time.Time
+	if hv := r.Header.Get(obs.TraceHeader); hv != "" {
+		if tc, ok := obs.ParseHeaderContext(hv); ok {
+			parent, child = tc, obs.Child(tc)
+			spanStart = time.Now()
+		}
+	}
+	out, err := s.decide(enc, sc, lookup, transportForEncoding(enc))
+	if child.Valid() {
+		s.spans.RecordHop(parent, child, "dejavud", decisionOp(lookup), spanStart, time.Since(spanStart))
+	}
 	if err != nil {
 		s.badRequest(w, err)
 		return
@@ -338,13 +392,23 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request, lookup b
 	_, _ = w.Write(out)
 }
 
+// decisionOp names a decision for span/metric purposes.
+func decisionOp(lookup bool) string {
+	if lookup {
+		return "lookup"
+	}
+	return "classify"
+}
+
 // decide parses sc.body, routes it to a template, and serves one
 // decision per signature from a single repository snapshot, encoding
 // the response in the request's own encoding. This is the
 // steady-state decision path: it performs zero heap allocations once
 // the scratch buffers have warmed up (pinned by TestDecideZeroAlloc
-// for both encodings).
-func (s *Server) decide(enc wire.Encoding, sc *scratch, lookup bool) ([]byte, error) {
+// for both encodings and TestDecideZeroAllocInstrumented), including
+// the latency histogram record — two atomic adds per batch.
+func (s *Server) decide(enc wire.Encoding, sc *scratch, lookup bool, tr transport) ([]byte, error) {
+	start := time.Now()
 	if err := sc.req.Decode(enc, sc.body); err != nil {
 		return nil, err
 	}
@@ -404,6 +468,7 @@ func (s *Server) decide(enc wire.Encoding, sc *scratch, lookup bool) ([]byte, er
 		}
 	}
 	sc.out = sc.resp.Append(enc, sc.out[:0])
+	tpl.lat[tr].Record(time.Since(start))
 	return sc.out, nil
 }
 
@@ -419,6 +484,7 @@ func (s *Server) triggerRelearn(tpl *template) {
 		if len(rows) < s.cfg.Drift.MinRelearnRows {
 			return
 		}
+		relearnStart := time.Now()
 		cur := tpl.handle.Current()
 		repo, err := s.cfg.Relearn(tpl.name, cur.Repo.EventsRef(), rows)
 		if err != nil {
@@ -445,6 +511,7 @@ func (s *Server) triggerRelearn(tpl *template) {
 			return
 		}
 		tpl.relearns.Add(1)
+		s.relearnDur.Record(time.Since(relearnStart))
 		s.logf("dejavud: template %s: drift relearn swapped in version %d (%d classes from %d signatures)",
 			tpl.name, v, repo.Classes(), len(rows))
 	})
@@ -574,6 +641,8 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 // at == 0 means "next local version"; otherwise the version is forced
 // (replicated-tier alignment).
 func (s *Server) install(name string, repo *core.Repository, at uint64) (uint64, error) {
+	start := time.Now()
+	defer func() { s.installDur.Record(time.Since(start)) }()
 	s.installMu.Lock()
 	defer s.installMu.Unlock()
 	old := s.templates.Load()
@@ -764,7 +833,12 @@ func (s *Server) handleTemplates(w http.ResponseWriter, _ *http.Request) {
 // totals are unlabeled; per-template series carry a template label —
 // except on a single-template server, which keeps the historical
 // unlabeled names so existing scrapes survive the multi-template
-// refactor.
+// refactor. Label values use the exposition format's own escaping
+// (backslash, quote, newline — obs.EscapeLabel), not Go's %q, whose
+// non-ASCII escapes Prometheus parsers reject. Decide latency is a
+// real `histogram` metric, one series per template × transport, plus
+// control-plane duration histograms; the whole output is held to the
+// exposition grammar by TestMetricsTextFormatLint.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	set := s.templates.Load()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -813,11 +887,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			if len(stats) == 1 {
 				fmt.Fprintf(w, "%s %g\n", m.name, m.value(ts))
 			} else {
-				fmt.Fprintf(w, "%s{template=%q} %g\n", m.name, ts.Template, m.value(ts))
+				fmt.Fprintf(w, "%s{template=\"%s\"} %g\n", m.name, obs.EscapeLabel(ts.Template), m.value(ts))
 			}
 		}
 	}
+
+	// Decide latency: per template × transport, only transports that
+	// have served (so a JSON-only deployment isn't buried in empty TCP
+	// series; Prometheus treats appearing series as starting at 0).
+	const latName = "dejavud_decide_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Decide path latency (decode, route, classify/lookup, encode) per batch.\n# TYPE %s histogram\n", latName, latName)
+	for _, name := range set.names {
+		tpl := set.byName[name]
+		for tr := transport(0); tr < numTransports; tr++ {
+			snap := tpl.lat[tr].Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			labels := fmt.Sprintf("template=\"%s\",transport=\"%s\"",
+				obs.EscapeLabel(name), transportNames[tr])
+			snap.WritePrometheus(w, latName, labels)
+		}
+	}
+
+	for _, hm := range []struct {
+		name, help string
+		snap       obs.Snapshot
+	}{
+		{"dejavud_relearn_duration_seconds", "Background drift relearns that swapped in.", s.relearnDur.Snapshot()},
+		{"dejavud_install_duration_seconds", "POST /v1/install publish durations.", s.installDur.Snapshot()},
+		{"dejavud_snapshot_duration_seconds", "Per-template snapshot write durations.", s.snapshotDur.Snapshot()},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", hm.name, hm.help, hm.name)
+		hm.snap.WritePrometheus(w, hm.name, "")
+	}
 }
+
+// handleTrace dumps the per-process span ring: every sampled decision
+// hop this daemon recorded, oldest first.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.spans.WriteJSON(w, "dejavud")
+}
+
+// Spans exposes the daemon's trace ring (tests and embedding daemons).
+func (s *Server) Spans() *obs.SpanRing { return s.spans }
 
 // SnapshotResult reports one persisted template.
 type SnapshotResult struct {
@@ -860,9 +974,11 @@ func (s *Server) Snapshot() ([]SnapshotResult, error) {
 	for _, name := range set.names {
 		cur := set.byName[name].handle.Current()
 		path := SnapshotPathFor(s.cfg.SnapshotPath, name, name == s.verbatimTemplate)
+		writeStart := time.Now()
 		if err := writeSnapshot(cur.Repo, path); err != nil {
 			return out, fmt.Errorf("server: snapshot template %s: %w", name, err)
 		}
+		s.snapshotDur.Record(time.Since(writeStart))
 		s.snapshots.Add(1)
 		out = append(out, SnapshotResult{Template: name, Version: cur.Version, Path: path})
 	}

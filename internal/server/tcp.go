@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -264,10 +265,31 @@ func (t *TCPServer) serveConn(nc net.Conn) {
 		} else {
 			t.s.classifyReqs.Add(1)
 		}
+		// A trace-flagged envelope prefixes the frame with a 16-byte
+		// trace context; strip it and record this hop's span around
+		// decide(). Untraced envelopes skip all of it.
+		var parent, child obs.TraceContext
+		var spanStart time.Time
+		if flags&wire.StreamFlagTrace != 0 {
+			tc, ok := obs.ParseWireContext(payload)
+			if !ok {
+				t.s.badRequests.Add(1)
+				if werr := st.WriteEnvelope(id, wire.StreamFlagError, append(sc.out[:0], "server: malformed trace context"...)); werr != nil {
+					return
+				}
+				continue
+			}
+			parent, child = tc, obs.Child(tc)
+			payload = payload[obs.WireContextLen:]
+			spanStart = time.Now()
+		}
 		// The payload aliases the Stream's read scratch; decide()
 		// consumes it before the next ReadEnvelope overwrites it.
 		sc.body = payload
-		out, err := t.s.decide(enc, sc, lookup)
+		out, err := t.s.decide(enc, sc, lookup, transportTCP)
+		if child.Valid() {
+			t.s.spans.RecordHop(parent, child, "dejavud", decisionOp(lookup), spanStart, time.Since(spanStart))
+		}
 		if err != nil {
 			t.s.badRequests.Add(1)
 			if werr := st.WriteEnvelope(id, wire.StreamFlagError, appendErrString(sc.out[:0], err)); werr != nil {

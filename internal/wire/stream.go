@@ -66,6 +66,14 @@ const (
 	// both request and response envelopes; bit0 keeps its per-direction
 	// meaning and is ignored when the ping bit is set.
 	StreamFlagPing = 0x02
+	// StreamFlagTrace marks a request envelope whose payload is
+	// prefixed by a 16-byte trace context (trace id + parent span id,
+	// little-endian u64 each — see internal/obs) ahead of the usual
+	// wire frame; elen counts the prefix. The serving side strips the
+	// prefix, records its hop span, and answers with an ordinary
+	// untraced envelope. Valid on request envelopes only; a response
+	// never carries the bit.
+	StreamFlagTrace = 0x04
 
 	// helloLen is the wire size of either hello.
 	helloLen = 6
@@ -196,14 +204,23 @@ func (s *Stream) ReadEnvelope(maxPayload int) (id uint32, flags byte, payload []
 // single Write call. The payload is copied into the Stream's write
 // scratch, so the caller's buffer is free the moment this returns.
 func (s *Stream) WriteEnvelope(id uint32, flags byte, payload []byte) error {
-	need := 4 + envelopeHeaderLen + len(payload)
+	return s.WriteEnvelopeParts(id, flags, nil, payload)
+}
+
+// WriteEnvelopeParts frames prefix ++ payload under (id, flags) as one
+// envelope in a single Write call, without requiring the caller to
+// concatenate them first. The trace plane uses it to slide a 16-byte
+// trace context ahead of an already-encoded frame allocation-free.
+func (s *Stream) WriteEnvelopeParts(id uint32, flags byte, prefix, payload []byte) error {
+	need := 4 + envelopeHeaderLen + len(prefix) + len(payload)
 	if cap(s.wbuf) < need {
 		s.wbuf = make([]byte, 0, need)
 	}
 	b := s.wbuf[:4+envelopeHeaderLen]
-	binary.LittleEndian.PutUint32(b, uint32(envelopeHeaderLen+len(payload)))
+	binary.LittleEndian.PutUint32(b, uint32(envelopeHeaderLen+len(prefix)+len(payload)))
 	binary.LittleEndian.PutUint32(b[4:], id)
 	b[8] = flags
+	b = append(b, prefix...)
 	b = append(b, payload...)
 	s.wbuf = b
 	_, err := s.w.Write(b)
