@@ -6,11 +6,11 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/cloud"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 // InterferenceBucketWidth discretizes the estimated co-located
@@ -82,8 +82,11 @@ type Repository struct {
 	// calls stay allocation-free; entries are *[]float64 of signature
 	// width.
 	rowPool sync.Pool
-	// stats
-	hits, misses atomic.Int64
+	// stats: cache-line-sharded counters, so the per-lookup count from
+	// tens of thousands of concurrent controllers never rendezvouses on
+	// one cache line (a plain atomic here was a measurable share of the
+	// scale benchmarks' cross-core traffic).
+	hits, misses obs.Counter
 }
 
 // repoShard is one lock-striped slice of the entry map.
@@ -218,13 +221,17 @@ func (r *Repository) Classify(sig *Signature) (class int, certainty float64, unf
 	// Novelty: distance to the nearest centroid must be within the
 	// learned radius. This catches workloads like the HotMail day-4
 	// surge whose volume exceeds everything seen during learning.
-	minDist, nearest := math.Inf(1), -1
+	// The argmin runs on squared distances — same accumulation order,
+	// and sqrt is monotone, so the winner (and first-wins tie) is the
+	// one EuclideanDistance would pick — deferring the sqrt to the
+	// single radius comparison.
+	minDsq, nearest := math.Inf(1), -1
 	for c, centroid := range r.centroids {
-		if d := ml.EuclideanDistance(row, centroid); d < minDist {
-			minDist, nearest = d, c
+		if d := ml.SquaredDistance(row, centroid); d < minDsq {
+			minDsq, nearest = d, c
 		}
 	}
-	if nearest >= 0 && minDist > r.noveltyRadius[nearest] {
+	if nearest >= 0 && math.Sqrt(minDsq) > r.noveltyRadius[nearest] {
 		return class, certainty, true, nil
 	}
 	if certainty < r.certaintyThreshold {
@@ -259,8 +266,8 @@ func (r *Repository) Lookup(sig *Signature, bucket int) (LookupResult, error) {
 	return res, nil
 }
 
-func (r *Repository) countHit()  { r.hits.Add(1) }
-func (r *Repository) countMiss() { r.misses.Add(1) }
+func (r *Repository) countHit()  { r.hits.Inc() }
+func (r *Repository) countMiss() { r.misses.Inc() }
 
 // HitRate returns the fraction of lookups that were cache hits.
 func (r *Repository) HitRate() float64 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/obs"
 	"repro/internal/services"
 )
 
@@ -22,11 +23,18 @@ import (
 // same service template share the cache, so the second tenant's
 // learning phase reuses the first tenant's experiments instead of
 // re-running them.
+//
+// The steady state at fleet scale is every tenant hitting a fully warm
+// cache, so the lookup path takes only a read lock and counts through
+// cache-line-sharded counters — thousands of concurrent controllers
+// sharing one template never serialize on a write lock or rendezvous
+// on one counter line. Misses (rare, and each worth minutes of tuning)
+// pay for the write lock.
 type SharedTuningCache struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[sharedKey]cloud.Allocation
-	hits    int
-	misses  int
+	hits    obs.Counter
+	misses  obs.Counter
 }
 
 type sharedKey struct {
@@ -47,23 +55,15 @@ func NewSharedTuningCache() *SharedTuningCache {
 }
 
 // Hits and Misses report cache effectiveness.
-func (s *SharedTuningCache) Hits() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hits
-}
+func (s *SharedTuningCache) Hits() int { return int(s.hits.Load()) }
 
 // Misses reports how many lookups fell through to a real tuner.
-func (s *SharedTuningCache) Misses() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.misses
-}
+func (s *SharedTuningCache) Misses() int { return int(s.misses.Load()) }
 
 // Len returns the number of memoized operating points.
 func (s *SharedTuningCache) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.entries)
 }
 
@@ -106,16 +106,20 @@ func (t *SharedTuner) Tune(w services.Workload, interference float64) (cloud.All
 		return cloud.Allocation{}, fmt.Errorf("core: interference %v out of [0,1)", interference)
 	}
 	key := t.key(w, interference)
-	t.cache.mu.Lock()
-	if alloc, ok := t.cache.entries[key]; ok {
-		t.cache.hits++
-		t.cache.mu.Unlock()
+	t.cache.mu.RLock()
+	alloc, ok := t.cache.entries[key]
+	t.cache.mu.RUnlock()
+	if ok {
+		t.cache.hits.Inc()
 		t.lastWasHit = true
 		return alloc, nil
 	}
-	t.cache.misses++
-	t.cache.mu.Unlock()
+	t.cache.misses.Inc()
 
+	// Check-then-act, as before the read/write split: two tenants
+	// racing on a cold key both tune and both publish — the tuner is
+	// deterministic for a given key, so the second Put overwrites the
+	// first with an identical value.
 	alloc, err := t.inner.Tune(w, interference)
 	if err != nil {
 		return cloud.Allocation{}, err

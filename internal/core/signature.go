@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -79,15 +80,39 @@ type Profiler struct {
 // cache hit").
 const DefaultSignatureWindow = 10 * time.Second
 
+// catalogEvents returns the process-wide shared copy of the full event
+// catalog. The catalog is immutable, and a Monitor only reads its
+// Events slice (per-monitor index tables are keyed by slice identity),
+// so every profiler can alias one copy — a fleet run builds one
+// profiler per VM, and the per-profiler AllEvents copy was pure churn.
+func catalogEvents() []metrics.Event {
+	catalogOnce.Do(func() { catalog = metrics.AllEvents() })
+	return catalog
+}
+
+var (
+	catalogOnce sync.Once
+	catalog     []metrics.Event
+)
+
 // NewProfiler builds a profiler monitoring the full event catalog (the
 // learning phase collects "all HPC and xentop-reported metric values").
 func NewProfiler(svc services.Service, rng *rand.Rand) (*Profiler, error) {
 	if svc == nil {
 		return nil, errors.New("core: nil service")
 	}
-	mon, err := metrics.NewMonitor(metrics.AllEvents(), rng)
-	if err != nil {
-		return nil, err
+	if rng == nil {
+		return nil, errors.New("metrics: rng must be set")
+	}
+	// Assembled literally (same fields NewMonitor fills) so the shared
+	// catalog slice is aliased, not re-copied per profiler. The Bank is
+	// still private — tests and experiments adjust a profiling host's
+	// registers through p.Monitor.Bank.
+	mon := &metrics.Monitor{
+		Events:    catalogEvents(),
+		Bank:      metrics.DefaultBank(),
+		BaseNoise: 0.01,
+		Rng:       rng,
 	}
 	refInstances := svc.MaxAllocation().Count
 	if refInstances <= 0 {

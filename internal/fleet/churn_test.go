@@ -120,7 +120,10 @@ func TestActiveTraceWindows(t *testing.T) {
 // blocks, so records held by live VMs cannot be stomped. Run with
 // -race: joins, leaves, and slot writes all happen concurrently.
 func TestStepArenaDrainSafety(t *testing.T) {
-	arena := newStepArena(64) // small first block forces block turnover
+	// Two shards, tiny capacity: every shard's first block is smaller
+	// than its VMs' demand, forcing block turnover under churn.
+	const shards = 2
+	arena := newStepArena(64, shards)
 	const vms = 32
 	const stepsPer = 16
 
@@ -130,7 +133,8 @@ func TestStepArenaDrainSafety(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			slot := arena.acquire(stepsPer)
+			worker := i % shards
+			slot := arena.acquire(worker, stepsPer)
 			if len(slot) != 0 || cap(slot) != stepsPer {
 				t.Errorf("vm %d slot len %d cap %d, want 0/%d", i, len(slot), cap(slot), stepsPer)
 			}
@@ -141,7 +145,7 @@ func TestStepArenaDrainSafety(t *testing.T) {
 			}
 			slots[i] = slot
 			if i%3 == 0 {
-				arena.release() // this VM is preempted mid-run
+				arena.release(worker) // this VM is preempted mid-run
 			}
 		}(i)
 	}
@@ -167,9 +171,9 @@ func TestStepArenaDrainSafety(t *testing.T) {
 
 // TestStepArenaOversizedAcquire covers a join larger than any block.
 func TestStepArenaOversizedAcquire(t *testing.T) {
-	arena := newStepArena(8)
-	small := arena.acquire(8)
-	big := arena.acquire(100)
+	arena := newStepArena(8, 1)
+	small := arena.acquire(0, 8)
+	big := arena.acquire(0, 100)
 	if cap(big) != 100 {
 		t.Fatalf("oversized slot cap %d, want 100", cap(big))
 	}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"sort"
 	"time"
@@ -60,6 +61,12 @@ type Config struct {
 	// shared tuning cache) stays local — the daemon serves decisions,
 	// not profiling environments.
 	Remote *client.Client
+	// DiscardRecords drops every VM's per-step records and keeps only
+	// the aggregates (see sim.Config.DiscardRecords). The 100k-VM
+	// scale benchmarks set it: the step arena would otherwise hold
+	// >10 GB of records nobody reads. Aggregated results are
+	// bit-identical to a recording run's.
+	DiscardRecords bool
 }
 
 // GroupStats reports one service template's shared-cache effectiveness.
@@ -198,6 +205,56 @@ type group struct {
 	vms     []int // indices into Config.Specs
 }
 
+// templateCtx is the worker-local per-template batch state: setup that
+// is identical for every VM of a template and safe to reuse across the
+// consecutive same-template VMs a worker steps through (the run phase
+// iterates VMs in template-major order for exactly this reason).
+// Everything in it is result-neutral — the memo verifies its exact
+// operating point on every hit, and the tuner prototype is cloned per
+// VM — so batching only removes redundant setup work, never sharing
+// that could couple VM outcomes.
+type templateCtx struct {
+	// memo is the shared performance memo. One worker runs its VMs
+	// sequentially, so single-goroutine ownership holds; consecutive
+	// same-template VMs start with a warm model cache instead of
+	// re-solving the template's common operating points.
+	memo *services.PerfMemo
+	// proto is the template's default tuner, built once per
+	// (worker, template) and cloned per VM by struct copy — the clone
+	// shares the immutable Candidates slice and privatizes the only
+	// mutable field (the trial counter). nil when the default tuner is
+	// not a linear search; those VMs build their own.
+	proto *core.LinearSearchTuner
+}
+
+// workerTemplateCtx returns worker's shared context for the VM's
+// template, building it on first use. Sharing is only legal when the
+// VM's service value is exactly the template's (hand-built fleets may
+// reuse a service name with divergent configs); ineligible VMs get nil
+// and fall back to fully private setup.
+func workerTemplateCtx(wctx []map[string]*templateCtx, worker int, svc services.Service, g *group) *templateCtx {
+	if svc != g.service && !reflect.DeepEqual(svc, g.service) {
+		return nil
+	}
+	m := wctx[worker]
+	if m == nil {
+		m = make(map[string]*templateCtx, 4)
+		wctx[worker] = m
+	}
+	name := g.service.Name()
+	tc, ok := m[name]
+	if !ok {
+		tc = &templateCtx{memo: services.NewPerfMemo(g.service)}
+		if t, err := DefaultTuner(g.service); err == nil {
+			if lt, isLinear := t.(*core.LinearSearchTuner); isLinear {
+				tc.proto = lt
+			}
+		}
+		m[name] = tc
+	}
+	return tc
+}
+
 // Run executes the fleet: learn once per service template, then drive
 // every VM's controller concurrently over the shared repositories.
 func Run(cfg Config) (*Result, error) {
@@ -290,12 +347,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Zero-copy step arena: each VM's step count is known up front
-	// from its active trace window, so the arena pre-sizes one block
-	// for the whole fleet. Workers fill disjoint per-VM slots
-	// concurrently; VMs that leave mid-run drain their slot without
+	// from its active trace window, so the arena pre-sizes an even
+	// per-worker share of the whole fleet. Each worker fills slots
+	// from its own shard, so the hot loop never contends on a global
+	// bump pointer; VMs that leave mid-run drain their slot without
 	// the arena ever compacting or reusing it (see stepArena), so
 	// records held by live VMs and by the aggregation below stay
-	// valid under churn.
+	// valid under churn. Discarding runs skip the arena entirely.
 	active := make([]*trace.Trace, len(cfg.Specs))
 	total := 0
 	for i, spec := range cfg.Specs {
@@ -306,27 +364,60 @@ func Run(cfg Config) (*Result, error) {
 		active[i] = at
 		total += sim.Steps(at.Duration(), cfg.Step)
 	}
-	arena := newStepArena(total)
+	workers := cfg.Workers
+	if workers > len(cfg.Specs) {
+		workers = len(cfg.Specs)
+	}
+	if cfg.DiscardRecords {
+		// No records, no slabs: an eager arena at 100k VMs would
+		// allocate the >10 GB of record memory DiscardRecords exists
+		// to avoid.
+		total = 0
+	}
+	arena := newStepArena(total, workers)
+
+	// Template-major VM order: workers claim consecutive indices, so
+	// sorting the fleet by service name (stably — spec order preserved
+	// within a template) makes each worker step through runs of
+	// same-template VMs and amortize per-template setup through its
+	// templateCtx. Per-VM results are interleaving-invariant (the
+	// equivalence tests pin Workers=1 vs N byte-identical), so the
+	// permutation changes scheduling only, never output.
+	order := make([]int, len(cfg.Specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cfg.Specs[order[a]].Service.Name() < cfg.Specs[order[b]].Service.Name()
+	})
+	wctx := make([]map[string]*templateCtx, workers)
 
 	runErrs := make([]error, len(cfg.Specs))
 	runStart := time.Now()
-	parallel.Do(cfg.Workers, len(cfg.Specs), func(i int) {
-		records := arena.acquire(sim.Steps(active[i].Duration(), cfg.Step))
+	parallel.DoWorkers(workers, len(cfg.Specs), func(worker, idx int) {
+		i := order[idx]
+		spec := &cfg.Specs[i]
+		g := groups[spec.Service.Name()]
+		var records []sim.StepRecord
+		if !cfg.DiscardRecords {
+			records = arena.acquire(worker, sim.Steps(active[i].Duration(), cfg.Step))
+		}
+		tc := workerTemplateCtx(wctx, worker, spec.Service, g)
 		vmStart := time.Now()
-		vr, err := runVM(cfg, cfg.Specs[i], active[i], groups[cfg.Specs[i].Service.Name()], records)
+		vr, err := runVM(cfg, *spec, active[i], g, tc, records)
 		stepDur.Record(time.Since(vmStart))
 		if err != nil {
-			runErrs[i] = fmt.Errorf("fleet: vm %d (%s): %w", i, cfg.Specs[i].Name, err)
+			runErrs[i] = fmt.Errorf("fleet: vm %d (%s): %w", i, spec.Name, err)
 			return
 		}
-		if cfg.Specs[i].LeaveAt > 0 {
+		if spec.LeaveAt > 0 && !cfg.DiscardRecords {
 			// Preempted: the VM has left the fleet; drain its slot.
-			arena.release()
+			arena.release(worker)
 		}
 		res.VMResults[i] = vr
 		res.Bill.Post(cloud.TenantUsage{
-			Tenant:        cfg.Specs[i].Name,
-			Service:       cfg.Specs[i].Service.Name(),
+			Tenant:        spec.Name,
+			Service:       spec.Service.Name(),
 			Cost:          vr.TotalCost,
 			InstanceHours: vr.MeanAllocatedInstances() * active[i].Duration().Hours(),
 			Duration:      active[i].Duration(),
@@ -341,7 +432,7 @@ func Run(cfg Config) (*Result, error) {
 	res.StepPhase = stepDur.Snapshot().Summary()
 
 	for _, vr := range res.VMResults {
-		res.TotalSteps += len(vr.Records)
+		res.TotalSteps += vr.Steps
 	}
 	for name, g := range groups {
 		gs := GroupStats{
@@ -418,15 +509,20 @@ func learnGroup(cfg Config, g *group, workers int) error {
 // filling step records into the caller-provided arena slice. runTrace
 // is the VM's active trace window; when the VM joined mid-run its
 // time-indexed schedules (interference, mix) are shifted so they keep
-// reading fleet-absolute time.
-func runVM(cfg Config, spec sim.VMSpec, runTrace *trace.Trace, g *group, records []sim.StepRecord) (*sim.Result, error) {
+// reading fleet-absolute time. tc, when non-nil, is the worker's
+// per-template batch state (warm perf memo, tuner prototype) — always
+// result-neutral, see templateCtx.
+func runVM(cfg Config, spec sim.VMSpec, runTrace *trace.Trace, g *group, tc *templateCtx, records []sim.StepRecord) (*sim.Result, error) {
 	rng := newRng(spec.Seed)
 	prof, err := core.NewProfiler(spec.Service, rng)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := DefaultTuner(spec.Service)
-	if err != nil {
+	var inner core.Tuner
+	if tc != nil && tc.proto != nil {
+		t := *tc.proto // clone: shares Candidates, privatizes the trial counter
+		inner = &t
+	} else if inner, err = DefaultTuner(spec.Service); err != nil {
 		return nil, err
 	}
 	tuner, err := core.NewSharedTuner(g.cache, spec.Service, inner)
@@ -460,15 +556,19 @@ func runVM(cfg Config, spec sim.VMSpec, runTrace *trace.Trace, g *group, records
 		}
 	}
 	simCfg := sim.Config{
-		Service:      spec.Service,
-		Trace:        runTrace,
-		Mix:          spec.Mix,
-		MixFn:        mixFn,
-		Controller:   ctl,
-		Step:         cfg.Step,
-		Initial:      spec.Service.MaxAllocation(),
-		Interference: interference,
-		Records:      records,
+		Service:        spec.Service,
+		Trace:          runTrace,
+		Mix:            spec.Mix,
+		MixFn:          mixFn,
+		Controller:     ctl,
+		Step:           cfg.Step,
+		Initial:        spec.Service.MaxAllocation(),
+		Interference:   interference,
+		Records:        records,
+		DiscardRecords: cfg.DiscardRecords,
+	}
+	if tc != nil {
+		simCfg.PerfMemo = tc.memo
 	}
 	return sim.Run(simCfg)
 }

@@ -54,13 +54,27 @@ func (m *Matrix) Row(i int) []float64 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
-// dotProduct returns a·b for equal-length vectors.
+// dotProduct returns a·b for equal-length vectors, accumulated 4-wide:
+// four independent partial sums break the loop-carried add dependency
+// so the FMA units pipeline instead of stalling on one accumulator.
+// The reassociated order changes low bits versus a sequential sum —
+// only callers that are already approximations may use it (the sampled
+// silhouette estimator via normDistance); the clustering hot loops pin
+// bit-identical Σ(aᵢ−bᵢ)² accumulation and must not.
 func dotProduct(a, b []float64) float64 {
-	sum := 0.0
-	for i := range a {
-		sum += a[i] * b[i]
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return sum
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // normDistance returns the L2 distance between rows with precomputed

@@ -131,19 +131,11 @@ func (m *MemoSolver) Solve(nw *Network, n int) (*Result, error) {
 		return r, nil
 	}
 	// Extend path: continue the recurrence from the last solved
-	// population (possibly 0) up to n.
+	// population (possibly 0) up to n, through the same mvaStep the
+	// direct solver runs — bit-equality with nw.Solve(n) is structural.
 	k := len(memo.demands)
 	for pop := memo.pop + 1; pop <= n; pop++ {
-		response := 0.0
-		for i := 0; i < k; i++ {
-			memo.stationR[i] = memo.demands[i] * (1 + memo.queues[i])
-			response += memo.stationR[i]
-		}
-		throughput := float64(pop) / (memo.thinkTime + response)
-		for i := 0; i < k; i++ {
-			memo.queues[i] = throughput * memo.stationR[i]
-		}
-		memo.response, memo.throughput = response, throughput
+		memo.response, memo.throughput = mvaStep(memo.demands, memo.queues, memo.stationR, pop, memo.thinkTime)
 	}
 	memo.pop = n
 	r := &Result{

@@ -69,6 +69,43 @@ func (nw *Network) Validate() error {
 	return nil
 }
 
+// mvaStep advances the exact-MVA recurrence by one population step:
+// it fills stationR from (demands, queues), returns R(pop) and X(pop),
+// and updates queues in place. Every MVA path in the package — direct
+// solves, series sweeps, and the memo's extend path — runs the
+// recurrence through this one function, which makes their bit-equality
+// structural rather than a matter of keeping three loops in sync.
+//
+// The station loop is unrolled 4-wide with *sequential* adds into the
+// response accumulator: the four R_i products are independent (the
+// compiler can schedule them), but the accumulation order is exactly
+// the scalar loop's, so results stay bit-identical to the historical
+// formulation.
+func mvaStep(demands, queues, stationR []float64, pop int, think float64) (response, throughput float64) {
+	k := len(demands)
+	i := 0
+	for ; i+4 <= k; i += 4 {
+		r0 := demands[i] * (1 + queues[i])
+		r1 := demands[i+1] * (1 + queues[i+1])
+		r2 := demands[i+2] * (1 + queues[i+2])
+		r3 := demands[i+3] * (1 + queues[i+3])
+		stationR[i], stationR[i+1], stationR[i+2], stationR[i+3] = r0, r1, r2, r3
+		response += r0
+		response += r1
+		response += r2
+		response += r3
+	}
+	for ; i < k; i++ {
+		stationR[i] = demands[i] * (1 + queues[i])
+		response += stationR[i]
+	}
+	throughput = float64(pop) / (think + response)
+	for j := 0; j < k; j++ {
+		queues[j] = throughput * stationR[j]
+	}
+	return response, throughput
+}
+
 // Solve runs exact MVA for population n and returns the steady state.
 func (nw *Network) Solve(n int) (*Result, error) {
 	if err := nw.Validate(); err != nil {
@@ -86,15 +123,7 @@ func (nw *Network) Solve(n int) (*Result, error) {
 	var response, throughput float64
 	stationR := make([]float64, k)
 	for pop := 1; pop <= n; pop++ {
-		response = 0
-		for i := 0; i < k; i++ {
-			stationR[i] = nw.Demands[i] * (1 + queues[i])
-			response += stationR[i]
-		}
-		throughput = float64(pop) / (nw.ThinkTime + response)
-		for i := 0; i < k; i++ {
-			queues[i] = throughput * stationR[i]
-		}
+		response, throughput = mvaStep(nw.Demands, queues, stationR, pop, nw.ThinkTime)
 	}
 	res.ResponseTime = response
 	res.Throughput = throughput
@@ -120,12 +149,7 @@ func (nw *Network) SolveSeries(n int) ([]*Result, error) {
 	queues := make([]float64, k)
 	stationR := make([]float64, k)
 	for pop := 1; pop <= n; pop++ {
-		response := 0.0
-		for i := 0; i < k; i++ {
-			stationR[i] = nw.Demands[i] * (1 + queues[i])
-			response += stationR[i]
-		}
-		throughput := float64(pop) / (nw.ThinkTime + response)
+		response, throughput := mvaStep(nw.Demands, queues, stationR, pop, nw.ThinkTime)
 		r := &Result{
 			Clients:      pop,
 			ResponseTime: response,
@@ -133,9 +157,8 @@ func (nw *Network) SolveSeries(n int) ([]*Result, error) {
 			QueueLengths: make([]float64, k),
 			Utilizations: make([]float64, k),
 		}
+		copy(r.QueueLengths, queues)
 		for i := 0; i < k; i++ {
-			queues[i] = throughput * stationR[i]
-			r.QueueLengths[i] = queues[i]
 			r.Utilizations[i] = throughput * nw.Demands[i]
 		}
 		out = append(out, r)

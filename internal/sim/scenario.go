@@ -154,18 +154,28 @@ func servicePeakClients(svc services.Service) float64 {
 	}
 }
 
-// rotateHours returns a copy of an hourly trace rotated left by h
-// hours, wrapping the head samples to the tail — same shape, shifted
-// phase.
-func rotateHours(t *trace.Trace, h int) *trace.Trace {
+// scaleRotate fuses Trace.ScaleTo with a left rotation by h samples
+// into one output trace: out[i] = t[(i+h) mod n] / peak(t) * peak.
+// Scaling is elementwise and rotation a permutation, so the fused form
+// computes exactly the values rotate(scale(t)) did — it just skips the
+// intermediate week-sized copy, which the scenario generator used to
+// make once per VM.
+func scaleRotate(t *trace.Trace, peak float64, h int) *trace.Trace {
 	n := t.Len()
 	out := &trace.Trace{Name: t.Name, Step: t.Step, Loads: make([]float64, n)}
 	if n == 0 {
 		return out
 	}
 	h = ((h % n) + n) % n
+	cur := t.Peak()
+	if cur == 0 {
+		for i := 0; i < n; i++ {
+			out.Loads[i] = t.Loads[(i+h)%n]
+		}
+		return out
+	}
 	for i := 0; i < n; i++ {
-		out.Loads[i] = t.Loads[(i+h)%n]
+		out.Loads[i] = t.Loads[(i+h)%n] / cur * peak
 	}
 	return out
 }
@@ -266,6 +276,21 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 			schedules[h] = hostInterference(cfg.Rng)
 		}
 	}
+	// Hardware generations are a per-host property, so the composed
+	// capacity-deficit schedule is built once per host and shared by
+	// its co-located VMs — O(hosts) closures instead of O(VMs). The
+	// composition itself is unchanged, so every VM observes the same
+	// schedule values as before.
+	var hostCaps []float64
+	if cfg.Kind == KindHardwareGen {
+		hostCaps = make([]float64, hosts)
+		for h := range hostCaps {
+			hostCaps[h] = hardwareGens[h%len(hardwareGens)]
+			if hostCaps[h] < 1 {
+				schedules[h] = composeCapacity(hostCaps[h], schedules[h])
+			}
+		}
+	}
 
 	// One base draw from the scenario Rng seeds every VM's private
 	// stream (via rng.Derive); the scenario Rng itself is consumed
@@ -329,16 +354,24 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 		} else {
 			week = trace.HotMail(trace.SynthConfig{Rng: vmRng, DailyPhaseShift: true})
 		}
-		week = week.ScaleTo(servicePeakClients(svc))
+		// Fused scale+rotate, then aliased learning/run windows: the
+		// generator materializes exactly one week-sized slice per VM
+		// instead of the four copies the composition of ScaleTo,
+		// rotateHours, Day, and Slice used to make. The stagger draw
+		// stays on cfg.Rng in the same stream position. The windows are
+		// disjoint ([0,24) vs [24,...)), so the flash-crowd in-place
+		// spike on the run window below never touches the learning day.
+		stagger := 0
 		if cfg.MaxStaggerHours > 0 {
-			week = rotateHours(week, cfg.Rng.Intn(cfg.MaxStaggerHours+1))
+			stagger = cfg.Rng.Intn(cfg.MaxStaggerHours + 1)
 		}
+		week = scaleRotate(week, servicePeakClients(svc), stagger)
 
-		learn, err := week.Day(0)
+		learn, err := week.View(0, 24)
 		if err != nil {
 			return nil, fmt.Errorf("sim: scenario vm %d: %w", i, err)
 		}
-		run, err := week.Slice(24, (1+cfg.Days)*24)
+		run, err := week.View(24, (1+cfg.Days)*24)
 		if err != nil {
 			return nil, fmt.Errorf("sim: scenario vm %d: %w", i, err)
 		}
@@ -386,9 +419,12 @@ func GenerateScenario(cfg ScenarioConfig) ([]VMSpec, error) {
 				return after
 			}
 		case KindHardwareGen:
-			spec.HostCapacity = hardwareGens[host%len(hardwareGens)]
+			spec.HostCapacity = hostCaps[host]
 			if spec.HostCapacity < 1 {
-				spec.Interference = composeCapacity(spec.HostCapacity, spec.Interference)
+				// schedules[host] was composed with the host's capacity
+				// deficit above (even for interference-free fleets, where
+				// the deficit is the whole schedule).
+				spec.Interference = schedules[host]
 			}
 		}
 		specs = append(specs, spec)

@@ -36,7 +36,10 @@ type Observation struct {
 
 // Action is a controller's response to an observation.
 type Action struct {
-	// Target, when non-nil, requests a new allocation.
+	// Target, when non-nil, requests a new allocation. The engine
+	// copies the pointed-to value before the next Step, so controllers
+	// may back it with reused storage (a scratch field) instead of
+	// boxing a fresh allocation per decision.
 	Target *cloud.Allocation
 	// DecisionTime is how long the controller needed to produce this
 	// decision (DejaVu: ~10 s of signature collection; tuning: minutes).
@@ -88,6 +91,22 @@ type Config struct {
 	// an exact-capacity buffer itself (the step count is known from
 	// the trace), so records never grow-and-copy either way.
 	Records []StepRecord
+	// DiscardRecords drops the per-step records and keeps only the
+	// aggregates (Steps, SLOViolationFraction, TotalCost, Episodes,
+	// mean allocation). The 100k-VM scale benchmarks use it: at ~88
+	// bytes per step record a fleet of that size would need >10 GB of
+	// record memory for output nobody reads. Every aggregate is
+	// accumulated from exactly the values the records would have held,
+	// so a discarding run and a recording run agree bit-for-bit on
+	// everything but Records itself.
+	DiscardRecords bool
+	// PerfMemo optionally injects a shared performance memo. The memo
+	// verifies the exact operating point on every hit (see
+	// services.PerfMemo), so sharing one across sequential runs of the
+	// same service template changes no results — it only carries cache
+	// warmth from one VM to the next. Callers must not share a memo
+	// across concurrent runs; nil means Run builds a private one.
+	PerfMemo *services.PerfMemo
 }
 
 // Steps returns the number of simulation steps Run will execute for a
@@ -162,7 +181,13 @@ type Episode struct {
 type Result struct {
 	Controller string
 	Service    string
-	Records    []StepRecord
+	// Records holds the per-step outcomes; empty when the run was
+	// configured with DiscardRecords.
+	Records []StepRecord
+	// Steps is the number of simulation steps executed — equal to
+	// len(Records) for recording runs, and the only step count a
+	// discarding run reports.
+	Steps int
 	// TotalCost is the provisioning bill over the run (USD).
 	TotalCost float64
 	// SLOViolationFraction is the fraction of steps violating the SLO.
@@ -171,6 +196,10 @@ type Result struct {
 	Episodes []Episode
 	// Decisions is the number of allocation-change requests issued.
 	Decisions int
+
+	// allocSum accumulates the per-step allocated instance count so
+	// MeanAllocatedInstances works without the records.
+	allocSum float64
 }
 
 // MeanAdaptation returns the mean episode duration, or 0 when no
@@ -187,8 +216,13 @@ func (r *Result) MeanAdaptation() time.Duration {
 }
 
 // MeanAllocatedInstances returns the time-averaged instance count.
+// Runs that discarded their records use the incrementally accumulated
+// sum; hand-assembled Results keep working off Records.
 func (r *Result) MeanAllocatedInstances() float64 {
 	if len(r.Records) == 0 {
+		if r.Steps > 0 {
+			return r.allocSum / float64(r.Steps)
+		}
 		return 0
 	}
 	sum := 0.0
@@ -241,9 +275,12 @@ func Run(cfg Config) (*Result, error) {
 	total := cfg.Trace.Duration()
 
 	res := &Result{Controller: cfg.Controller.Name(), Service: cfg.Service.Name()}
-	if cfg.Records != nil {
+	switch {
+	case cfg.DiscardRecords:
+		// Aggregates only; no record storage at all.
+	case cfg.Records != nil:
 		res.Records = cfg.Records[:0]
-	} else {
+	default:
 		res.Records = make([]StepRecord, 0, Steps(total, cfg.Step))
 	}
 	violations := 0
@@ -252,8 +289,12 @@ func Run(cfg Config) (*Result, error) {
 	// hold their load for a whole sample period, so the per-step model
 	// evaluation memoizes almost perfectly. The memo verifies the
 	// exact operating point on every hit — results are bit-identical
-	// to calling Perf directly.
-	perfMemo := services.NewPerfMemo(cfg.Service)
+	// to calling Perf directly (which is also why an injected shared
+	// memo cannot change them).
+	perfMemo := cfg.PerfMemo
+	if perfMemo == nil {
+		perfMemo = services.NewPerfMemo(cfg.Service)
+	}
 
 	// Episode tracking.
 	var episodeStart time.Duration = -1
@@ -328,23 +369,27 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		violated := !slo.Met(perf)
-		// Write the record into the preallocated slice in place; a
-		// build-then-append would copy the ~140-byte struct twice.
-		if len(res.Records) < cap(res.Records) {
-			res.Records = res.Records[:len(res.Records)+1]
-		} else { // undersized caller-provided buffer
-			res.Records = append(res.Records, StepRecord{})
+		if !cfg.DiscardRecords {
+			// Write the record into the preallocated slice in place; a
+			// build-then-append would copy the ~140-byte struct twice.
+			if len(res.Records) < cap(res.Records) {
+				res.Records = res.Records[:len(res.Records)+1]
+			} else { // undersized caller-provided buffer
+				res.Records = append(res.Records, StepRecord{})
+			}
+			rec := &res.Records[len(res.Records)-1]
+			rec.Now = now
+			rec.Clients = w.Clients
+			rec.LatencyMs = perf.LatencyMs
+			rec.QoSPercent = perf.QoSPercent
+			rec.Utilization = perf.Utilization
+			rec.Alloc = activeRef
+			rec.InTransition = inTransition
+			rec.SLOViolated = violated
+			rec.Interference = interf
 		}
-		rec := &res.Records[len(res.Records)-1]
-		rec.Now = now
-		rec.Clients = w.Clients
-		rec.LatencyMs = perf.LatencyMs
-		rec.QoSPercent = perf.QoSPercent
-		rec.Utilization = perf.Utilization
-		rec.Alloc = activeRef
-		rec.InTransition = inTransition
-		rec.SLOViolated = violated
-		rec.Interference = interf
+		res.Steps++
+		res.allocSum += float64(activeRef.Count)
 		if violated {
 			violations++
 		}
@@ -382,6 +427,14 @@ func Run(cfg Config) (*Result, error) {
 		// snapshot answers the one-step-ahead peek the engine used to
 		// settle the deployment for).
 		if episodeStart >= 0 && !(inTransition && readyAt > now+cfg.Step) {
+			if res.Episodes == nil {
+				// One right-sized block up front instead of append's
+				// doubling ladder: adaptive controllers produce dozens
+				// of episodes per run, and the grow-and-copy allocations
+				// were a visible share of the fleet run phase's heap
+				// churn.
+				res.Episodes = make([]Episode, 0, 32)
+			}
 			res.Episodes = append(res.Episodes, Episode{
 				StartOffset: episodeStart,
 				Duration:    now + cfg.Step - episodeStart,
@@ -392,7 +445,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res.TotalCost = dep.Cost(total)
-	res.SLOViolationFraction = float64(violations) / float64(len(res.Records))
+	res.SLOViolationFraction = float64(violations) / float64(res.Steps)
 	return res, nil
 }
 
